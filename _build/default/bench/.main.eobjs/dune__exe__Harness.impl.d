@@ -1,0 +1,1 @@
+bench/harness.ml: Array Float Gopt Gopt_exec Gopt_glogue Gopt_graph Gopt_opt Gopt_workloads Hashtbl List Printf String Sys

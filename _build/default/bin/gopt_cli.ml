@@ -1,0 +1,111 @@
+(* gopt — run Cypher/Gremlin queries against generated graphs from the
+   command line.
+
+   Examples:
+     dune exec bin/gopt_cli.exe -- --stats
+     dune exec bin/gopt_cli.exe -- "MATCH (p:Person)-[:KNOWS]->(q:Person) RETURN count(*) AS c"
+     dune exec bin/gopt_cli.exe -- --lang gremlin "g.V().hasLabel('Person').out('KNOWS').count()"
+     dune exec bin/gopt_cli.exe -- --planner cypher --explain "MATCH ... RETURN ..."
+     dune exec bin/gopt_cli.exe -- --workload IC5 *)
+
+open Cmdliner
+
+let run_main dataset persons accounts seed lang planner backend explain stats_only workload
+    load save query =
+  let graph =
+    match load with
+    | Some path -> Gopt_graph.Graph_io.load path
+    | None -> (
+      match dataset with
+      | "ldbc" -> Gopt_workloads.Ldbc.generate ~seed ~persons ()
+      | "transfer" -> Gopt_workloads.Transfer_graph.generate ~seed ~accounts ()
+      | other -> failwith (Printf.sprintf "unknown dataset %S (ldbc|transfer)" other))
+  in
+  (match save with
+  | Some path ->
+    Gopt_graph.Graph_io.save graph path;
+    Printf.printf "graph saved to %s\n" path
+  | None -> ());
+  if stats_only then begin
+    Format.printf "%a@." Gopt_graph.Property_graph.pp_stats graph;
+    0
+  end
+  else begin
+    let session = Gopt.Session.create graph in
+    let spec =
+      match backend with
+      | "graphscope" -> Gopt_opt.Physical_spec.graphscope
+      | "neo4j" -> Gopt_opt.Physical_spec.neo4j
+      | other -> failwith (Printf.sprintf "unknown backend %S (graphscope|neo4j)" other)
+    in
+    let config =
+      match planner with
+      | "gopt" -> Gopt_opt.Baselines.gopt_config spec
+      | "cypher" -> Gopt_opt.Baselines.cypher_planner_config
+      | "gsrbo" -> Gopt_opt.Baselines.gs_rbo_config
+      | other -> failwith (Printf.sprintf "unknown planner %S (gopt|cypher|gsrbo)" other)
+    in
+    let query =
+      match workload, query with
+      | Some name, _ ->
+        let q =
+          Gopt_workloads.Queries.find
+            (Gopt_workloads.Queries.comprehensive @ Gopt_workloads.Queries.qr
+           @ Gopt_workloads.Queries.qt @ Gopt_workloads.Queries.qc)
+            name
+        in
+        Printf.printf "-- %s: %s\n%s\n\n" q.Gopt_workloads.Queries.name
+          q.Gopt_workloads.Queries.description q.Gopt_workloads.Queries.cypher;
+        q.Gopt_workloads.Queries.cypher
+      | None, Some q -> q
+      | None, None -> failwith "provide a query or --workload NAME (or --stats)"
+    in
+    if explain then begin
+      print_endline (Gopt.explain_cypher ~config session query);
+      0
+    end
+    else begin
+      let t0 = Sys.time () in
+      let out =
+        match lang with
+        | "cypher" -> Gopt.run_cypher ~config session query
+        | "gremlin" -> Gopt.run_gremlin ~config session query
+        | other -> failwith (Printf.sprintf "unknown language %S (cypher|gremlin)" other)
+      in
+      let dt = Sys.time () -. t0 in
+      Format.printf "%a@." (Gopt_exec.Batch.pp graph) out.Gopt.result;
+      Printf.printf "-- %d rows in %.3fs cpu; %d intermediate rows; %d edges touched\n"
+        (Gopt_exec.Batch.n_rows out.Gopt.result)
+        dt out.Gopt.exec_stats.Gopt_exec.Engine.intermediate_rows
+        out.Gopt.exec_stats.Gopt_exec.Engine.edges_touched;
+      0
+    end
+  end
+
+let dataset = Arg.(value & opt string "ldbc" & info [ "dataset" ] ~doc:"ldbc or transfer")
+let persons = Arg.(value & opt int 800 & info [ "persons" ] ~doc:"LDBC scale (persons)")
+let accounts = Arg.(value & opt int 8000 & info [ "accounts" ] ~doc:"transfer-graph scale")
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"generator seed")
+let lang = Arg.(value & opt string "cypher" & info [ "lang" ] ~doc:"cypher or gremlin")
+let planner = Arg.(value & opt string "gopt" & info [ "planner" ] ~doc:"gopt, cypher or gsrbo")
+let backend =
+  Arg.(value & opt string "graphscope" & info [ "backend" ] ~doc:"graphscope or neo4j")
+let explain = Arg.(value & flag & info [ "explain" ] ~doc:"show plans instead of executing")
+let stats_only = Arg.(value & flag & info [ "stats" ] ~doc:"print dataset statistics and exit")
+let workload =
+  Arg.(value & opt (some string) None & info [ "workload" ] ~doc:"run a named workload query (IC1..BI18, QR, QT, QC)")
+let load_file =
+  Arg.(value & opt (some string) None & info [ "load" ] ~doc:"load the graph from a file instead of generating")
+let save_file =
+  Arg.(value & opt (some string) None & info [ "save" ] ~doc:"save the (generated or loaded) graph to a file")
+let query = Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY")
+
+let cmd =
+  let doc = "GOpt: modular graph-native query optimization (SIGMOD 2025 reproduction)" in
+  Cmd.v
+    (Cmd.info "gopt" ~doc)
+    Term.(
+      const run_main $ dataset $ persons $ accounts $ seed $ lang $ planner $ backend
+      $ explain $ stats_only $ workload $ load_file $ save_file $ query)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/fraud_detection.ml: Format Gopt Gopt_exec Gopt_graph Gopt_opt Gopt_pattern Gopt_workloads List Printf Sys

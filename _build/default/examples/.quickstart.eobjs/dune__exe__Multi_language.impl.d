@@ -1,0 +1,1 @@
+examples/multi_language.ml: Format Gopt Gopt_exec Gopt_gir Gopt_workloads Printf

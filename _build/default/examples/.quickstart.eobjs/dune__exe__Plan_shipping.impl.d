@@ -1,0 +1,1 @@
+examples/plan_shipping.ml: Filename Format Fun Gopt Gopt_exec Gopt_graph Gopt_opt Gopt_workloads Printf String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Gopt Gopt_exec Gopt_graph List

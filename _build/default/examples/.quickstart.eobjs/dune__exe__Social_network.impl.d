@@ -1,0 +1,1 @@
+examples/social_network.ml: Format Gopt Gopt_exec Gopt_graph Gopt_opt Gopt_workloads List Printf Sys

@@ -1,0 +1,66 @@
+(* Quickstart: build a graph, create a GOpt session, run Cypher.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Schema = Gopt_graph.Schema
+module G = Gopt_graph.Property_graph
+module Value = Gopt_graph.Value
+
+let () =
+  (* 1. declare a schema: vertex/edge types and their connectivity *)
+  let schema =
+    Schema.create
+      ~vtypes:
+        [
+          ("Person", [ ("name", Schema.P_string); ("age", Schema.P_int) ]);
+          ("City", [ ("name", Schema.P_string) ]);
+        ]
+      ~etypes:[ ("KNOWS", []); ("LIVES_IN", []) ]
+      ~triples:[ ("Person", "KNOWS", "Person"); ("Person", "LIVES_IN", "City") ]
+  in
+
+  (* 2. load data through the schema-checked builder *)
+  let b = G.Builder.create schema in
+  let person = Schema.vtype_id schema "Person" and city = Schema.vtype_id schema "City" in
+  let knows = Schema.etype_id schema "KNOWS" and lives_in = Schema.etype_id schema "LIVES_IN" in
+  let add_person name age =
+    G.Builder.add_vertex b ~vtype:person [ ("name", Value.Str name); ("age", Value.Int age) ]
+  in
+  let alice = add_person "Alice" 34
+  and bob = add_person "Bob" 29
+  and carol = add_person "Carol" 41 in
+  let shanghai = G.Builder.add_vertex b ~vtype:city [ ("name", Value.Str "Shanghai") ] in
+  let hangzhou = G.Builder.add_vertex b ~vtype:city [ ("name", Value.Str "Hangzhou") ] in
+  List.iter
+    (fun (s, d, t) -> ignore (G.Builder.add_edge b ~src:s ~dst:d ~etype:t []))
+    [
+      (alice, bob, knows);
+      (bob, carol, knows);
+      (alice, carol, knows);
+      (alice, shanghai, lives_in);
+      (bob, shanghai, lives_in);
+      (carol, hangzhou, lives_in);
+    ];
+  let graph = G.Builder.freeze b in
+
+  (* 3. create a session: this precomputes the GLogue statistics *)
+  let session = Gopt.Session.create graph in
+
+  (* 4. run a CGP: pattern matching + relational operations *)
+  let query =
+    "MATCH (a:Person)-[:KNOWS]->(c:Person), (a)-[:LIVES_IN]->(ci:City) \
+     WHERE ci.name = 'Shanghai' \
+     RETURN a.name AS who, count(c) AS friends ORDER BY friends DESC"
+  in
+  let out = Gopt.run_cypher session query in
+  Format.printf "== results ==@.%a@." (Gopt_exec.Batch.pp graph) out.Gopt.result;
+
+  (* 5. inspect what the optimizer did *)
+  print_endline (Gopt.explain_cypher session query);
+
+  (* 6. the same data answers Gremlin traversals through the same GIR *)
+  let gout =
+    Gopt.run_gremlin session
+      "g.V().hasLabel('Person').as('a').out('KNOWS').hasLabel('Person').as('c').count()"
+  in
+  Format.printf "@.gremlin count: %a@." (Gopt_exec.Batch.pp graph) gout.Gopt.result

@@ -1,0 +1,49 @@
+(* Social-network analytics on the LDBC-like dataset: runs a selection of
+   the IC/BI workload analogs and shows how GOpt's plan differs from the
+   baseline CypherPlanner-style plan.
+
+   Run with: dune exec examples/social_network.exe *)
+
+module Queries = Gopt_workloads.Queries
+module Ldbc = Gopt_workloads.Ldbc
+module Engine = Gopt_exec.Engine
+module Batch = Gopt_exec.Batch
+module Baselines = Gopt_opt.Baselines
+module Spec = Gopt_opt.Physical_spec
+
+let () =
+  let persons = 800 in
+  Printf.printf "generating LDBC-like graph (%d persons)...\n%!" persons;
+  let graph = Ldbc.generate ~persons () in
+  Format.printf "%a@." Gopt_graph.Property_graph.pp_stats graph;
+  Printf.printf "building GLogue statistics...\n%!";
+  let session = Gopt.Session.create graph in
+  let run name =
+    let query = Queries.find Queries.comprehensive name in
+    Printf.printf "\n=== %s: %s ===\n%!" name query.Queries.description;
+    let t0 = Sys.time () in
+    let gopt = Gopt.run_cypher ~budget:30.0 session query.Queries.cypher in
+    let t1 = Sys.time () in
+    Printf.printf "GOpt plan: %d rows in %.3fs (%d intermediate rows)\n%!"
+      (Batch.n_rows gopt.Gopt.result) (t1 -. t0)
+      gopt.Gopt.exec_stats.Engine.intermediate_rows;
+    let t2 = Sys.time () in
+    let base =
+      Gopt.run_cypher ~config:Baselines.cypher_planner_config ~budget:30.0 session
+        query.Queries.cypher
+    in
+    let t3 = Sys.time () in
+    Printf.printf "CypherPlanner-style plan: %d rows in %.3fs (%d intermediate rows)\n%!"
+      (Batch.n_rows base.Gopt.result) (t3 -. t2)
+      base.Gopt.exec_stats.Engine.intermediate_rows;
+    Format.printf "sample results:@.%a@." (Batch.pp graph) gopt.Gopt.result
+  in
+  List.iter run [ "IC2"; "IC5"; "IC6"; "BI2"; "BI8" ];
+  (* show the backend-specific operator choice on a cyclic pattern *)
+  let q = Queries.find Queries.qc "QC1a" in
+  Printf.printf "\n=== operator registration (PhysicalSpec) on %s ===\n" q.Queries.name;
+  let phys_gs, _ = Gopt.plan_cypher ~config:(Baselines.gopt_config Spec.graphscope) session q.Queries.cypher in
+  let phys_neo, _ = Gopt.plan_cypher ~config:(Baselines.gopt_config Spec.neo4j) session q.Queries.cypher in
+  let schema = Gopt.Session.schema session in
+  Format.printf "GraphScope backend:@.%a@." (Gopt_opt.Physical.pp ~schema) phys_gs;
+  Format.printf "Neo4j backend:@.%a@." (Gopt_opt.Physical.pp ~schema) phys_neo

@@ -1,0 +1,84 @@
+module G = Gopt_graph.Property_graph
+module Glogue = Gopt_glogue.Glogue
+module Gq = Gopt_glogue.Glogue_query
+module Planner = Gopt_opt.Planner
+module Physical = Gopt_opt.Physical
+module Engine = Gopt_exec.Engine
+module Batch = Gopt_exec.Batch
+module Logical = Gopt_gir.Logical
+
+module Session = struct
+  type t = {
+    graph : G.t;
+    glogue : Glogue.t;
+    gq : Gq.t;
+    gq_low : Gq.t;
+  }
+
+  let create ?(glogue_k = 3) ?(estimator_mode = Gq.High_order) ?selectivity
+      ?(histograms = true) graph =
+    let glogue = Glogue.build ~max_k:glogue_k graph in
+    let hist = if histograms then Some (Gopt_glogue.Histograms.build graph) else None in
+    {
+      graph;
+      glogue;
+      gq = Gq.create ?selectivity ~mode:estimator_mode ?histograms:hist glogue;
+      gq_low = Gq.create ?selectivity ~mode:Gq.Low_order glogue;
+    }
+
+  let graph t = t.graph
+  let schema t = G.schema t.graph
+  let glogue t = t.glogue
+  let estimator t = t.gq
+  let low_order_estimator t = t.gq_low
+end
+
+type outcome = {
+  result : Batch.t;
+  exec_stats : Engine.stats;
+  report : Planner.report;
+  physical : Physical.t;
+}
+
+let profile_for (config : Planner.config) =
+  if config.Planner.spec.Gopt_opt.Physical_spec.comm_factor > 0.0 then
+    Engine.graphscope_profile
+  else Engine.neo4j_profile
+
+let run_logical ?config ?profile ?budget (s : Session.t) logical =
+  let config = match config with Some c -> c | None -> Planner.default_config () in
+  let profile = match profile with Some p -> p | None -> profile_for config in
+  let physical, report = Planner.plan config s.Session.gq logical in
+  let result, exec_stats = Engine.run ~profile ?budget s.Session.graph physical in
+  { result; exec_stats; report; physical }
+
+let cypher_to_gir ?params (s : Session.t) src =
+  let ast = Gopt_lang.Cypher_parser.parse ?params src in
+  Gopt_lang.Lowering.cypher (Session.schema s) ast
+
+let gremlin_to_gir (s : Session.t) src =
+  Gopt_lang.Gremlin_parser.parse (Session.schema s) src
+
+let run_cypher ?params ?config ?profile ?budget s src =
+  run_logical ?config ?profile ?budget s (cypher_to_gir ?params s src)
+
+let run_gremlin ?config ?profile ?budget s src =
+  run_logical ?config ?profile ?budget s (gremlin_to_gir s src)
+
+let plan_cypher ?params ?config s src =
+  let config = match config with Some c -> c | None -> Planner.default_config () in
+  Planner.plan config s.Session.gq (cypher_to_gir ?params s src)
+
+let explain_cypher ?params ?config s src =
+  let physical, report = plan_cypher ?params ?config s src in
+  let schema = Session.schema s in
+  Format.asprintf
+    "@[<v>== logical (input) ==@,%a@,== logical (optimized) ==@,%a@,== rules applied ==@,%s@,== physical ==@,%a@]"
+    (Gopt_gir.Plan_printer.pp ~schema)
+    report.Planner.logical_input
+    (Gopt_gir.Plan_printer.pp ~schema)
+    report.Planner.logical_optimized
+    (match report.Planner.rules_applied with
+    | [] -> "(none)"
+    | rules -> String.concat ", " rules)
+    (Physical.pp ~schema) physical

@@ -1,0 +1,90 @@
+(** GOpt — a modular, graph-native query optimization framework for complex
+    graph patterns (CGPs), reproducing Lyu et al., SIGMOD 2025.
+
+    This is the user-facing façade: create a {!Session} over a property
+    graph (which builds the GLogue statistics), then run Cypher or Gremlin
+    queries through the full pipeline — parse, lower to the unified GIR,
+    RBO, type inference, CBO against a backend {!Gopt_opt.Physical_spec},
+    and execution on the in-repo engine.
+
+    The underlying layers are exposed as libraries of their own
+    ([gopt_graph], [gopt_pattern], [gopt_gir], [gopt_lang], [gopt_glogue],
+    [gopt_typeinf], [gopt_opt], [gopt_exec]) for programmatic use; see
+    [examples/] for end-to-end walkthroughs. *)
+
+module Session : sig
+  type t
+
+  val create :
+    ?glogue_k:int ->
+    ?estimator_mode:Gopt_glogue.Glogue_query.mode ->
+    ?selectivity:float ->
+    ?histograms:bool ->
+    Gopt_graph.Property_graph.t ->
+    t
+  (** Build a session: precomputes GLogue motif statistics up to [glogue_k]
+      (default 3) vertices, property histograms for selectivity estimation
+      ([histograms], default true), and sets up the cardinality
+      estimator. *)
+
+  val graph : t -> Gopt_graph.Property_graph.t
+  val schema : t -> Gopt_graph.Schema.t
+  val glogue : t -> Gopt_glogue.Glogue.t
+  val estimator : t -> Gopt_glogue.Glogue_query.t
+
+  val low_order_estimator : t -> Gopt_glogue.Glogue_query.t
+  (** A low-order-statistics view over the same store (baseline planners). *)
+end
+
+type outcome = {
+  result : Gopt_exec.Batch.t;
+  exec_stats : Gopt_exec.Engine.stats;
+  report : Gopt_opt.Planner.report;
+  physical : Gopt_opt.Physical.t;
+}
+
+val run_cypher :
+  ?params:(string * Gopt_graph.Value.t list) list ->
+  ?config:Gopt_opt.Planner.config ->
+  ?profile:Gopt_exec.Engine.profile ->
+  ?budget:float ->
+  Session.t ->
+  string ->
+  outcome
+(** Parse, optimize and execute a Cypher query. [config] defaults to the
+    full GOpt pipeline on the GraphScope spec; [profile] defaults to the
+    matching engine profile; [budget] (CPU seconds) bounds execution. *)
+
+val run_gremlin :
+  ?config:Gopt_opt.Planner.config ->
+  ?profile:Gopt_exec.Engine.profile ->
+  ?budget:float ->
+  Session.t ->
+  string ->
+  outcome
+
+val plan_cypher :
+  ?params:(string * Gopt_graph.Value.t list) list ->
+  ?config:Gopt_opt.Planner.config ->
+  Session.t ->
+  string ->
+  Gopt_opt.Physical.t * Gopt_opt.Planner.report
+(** Optimize without executing. *)
+
+val explain_cypher :
+  ?params:(string * Gopt_graph.Value.t list) list ->
+  ?config:Gopt_opt.Planner.config ->
+  Session.t ->
+  string ->
+  string
+(** Human-readable report: input logical plan, optimized logical plan,
+    applied rules, and the physical plan. *)
+
+val cypher_to_gir :
+  ?params:(string * Gopt_graph.Value.t list) list ->
+  Session.t ->
+  string ->
+  Gopt_gir.Logical.t
+(** Frontend only: parse + lower (useful for cross-language tests). *)
+
+val gremlin_to_gir : Session.t -> string -> Gopt_gir.Logical.t

@@ -1,0 +1,1 @@
+lib/exec/batch.ml: Array Format Gopt_util Hashtbl List Printf Rval String

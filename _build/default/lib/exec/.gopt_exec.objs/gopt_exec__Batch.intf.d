@@ -1,0 +1,1 @@
+lib/exec/batch.mli: Format Gopt_graph Rval

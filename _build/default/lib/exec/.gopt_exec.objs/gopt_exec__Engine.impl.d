@@ -1,0 +1,1 @@
+lib/exec/engine.ml: Array Batch Eval Fun Gopt_gir Gopt_graph Gopt_opt Gopt_pattern Gopt_util Hashtbl Int List Option Rval Sys

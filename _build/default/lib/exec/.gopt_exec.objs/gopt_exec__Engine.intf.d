@@ -1,0 +1,1 @@
+lib/exec/engine.mli: Batch Gopt_graph Gopt_opt

@@ -1,0 +1,1 @@
+lib/exec/eval.ml: Array Batch Gopt_graph Gopt_pattern List Rval String

@@ -1,0 +1,1 @@
+lib/exec/eval.mli: Batch Gopt_graph Gopt_pattern Rval

@@ -1,0 +1,1 @@
+lib/exec/rval.ml: Format Gopt_graph Hashtbl Int List String

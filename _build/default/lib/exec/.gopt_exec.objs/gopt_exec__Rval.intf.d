@@ -1,0 +1,1 @@
+lib/exec/rval.mli: Format Gopt_graph

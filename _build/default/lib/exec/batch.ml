@@ -1,0 +1,52 @@
+type t = {
+  field_list : string list;
+  index : (string, int) Hashtbl.t;
+  rows : Rval.t array Gopt_util.Vec.t;
+}
+
+let create field_list =
+  let index = Hashtbl.create 16 in
+  List.iteri
+    (fun i f ->
+      if Hashtbl.mem index f then invalid_arg (Printf.sprintf "Batch.create: duplicate field %S" f);
+      Hashtbl.add index f i)
+    field_list;
+  { field_list; index; rows = Gopt_util.Vec.create () }
+
+let fields t = t.field_list
+let has_field t f = Hashtbl.mem t.index f
+
+let pos t f =
+  match Hashtbl.find_opt t.index f with Some i -> i | None -> raise Not_found
+
+let n_rows t = Gopt_util.Vec.length t.rows
+let n_fields t = List.length t.field_list
+
+let add t row =
+  assert (Array.length row = n_fields t);
+  Gopt_util.Vec.push t.rows row
+
+let row t i = Gopt_util.Vec.get t.rows i
+
+let iter f t = Gopt_util.Vec.iter f t.rows
+
+let of_rows field_list rows =
+  let t = create field_list in
+  List.iter (add t) rows;
+  t
+
+let project_to t target_fields row =
+  Array.of_list (List.map (fun f -> row.(pos t f)) target_fields)
+
+let pp g ppf t =
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " t.field_list);
+  let n = n_rows t in
+  let shown = min n 20 in
+  for i = 0 to shown - 1 do
+    let r = row t i in
+    Format.fprintf ppf "%s@,"
+      (String.concat " | "
+         (Array.to_list (Array.map (fun v -> Format.asprintf "%a" (Rval.pp g) v) r)))
+  done;
+  if n > shown then Format.fprintf ppf "... (%d rows total)@," n;
+  Format.fprintf ppf "@]"

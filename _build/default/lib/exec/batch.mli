@@ -1,0 +1,39 @@
+(** Materialized row batches exchanged between physical operators.
+
+    A batch has a fixed field layout (tag -> column position) and a growable
+    set of rows. Rows are immutable arrays; extending a row means allocating
+    a wider copy, so sharing between operators is safe. *)
+
+type t
+
+val create : string list -> t
+(** Fresh empty batch with the given field layout. Raises
+    [Invalid_argument] on duplicate fields. *)
+
+val fields : t -> string list
+
+val has_field : t -> string -> bool
+
+val pos : t -> string -> int
+(** Column position of a field; raises [Not_found]. *)
+
+val n_rows : t -> int
+val n_fields : t -> int
+
+val add : t -> Rval.t array -> unit
+(** Append a row (length must match the layout). *)
+
+val row : t -> int -> Rval.t array
+(** The [i]-th row — do not mutate. *)
+
+val iter : (Rval.t array -> unit) -> t -> unit
+
+val of_rows : string list -> Rval.t array list -> t
+
+val project_to : t -> string list -> Rval.t array -> Rval.t array
+(** [project_to b target_fields row] reorders [row] (laid out as [b]) into
+    the target field order. Used to align UNION branches. *)
+
+val pp : Gopt_graph.Property_graph.t -> Format.formatter -> t -> unit
+(** Tabular rendering (for examples and debugging); truncates long
+    batches. *)

@@ -1,0 +1,49 @@
+(** The execution engine: a physical-plan interpreter over the property
+    graph store.
+
+    One interpreter executes the plans of every backend profile — exactly as
+    the paper runs GOpt plans and Neo4j plans on both Neo4j and GraphScope —
+    but the {e profile} controls the accounting: the GraphScope profile
+    simulates a distributed dataflow by counting every materialized
+    intermediate row as communication (the paper's communication-cost
+    definition), while the Neo4j profile is a single-machine pipeline with no
+    communication. Benchmarks combine wall-clock time with the simulated
+    communication volume (see EXPERIMENTS.md).
+
+    Execution is batch-at-a-time: each operator materializes its output.
+    All pattern operators implement homomorphism semantics; Cypher's
+    no-repeated-edge semantics is realized by the AllDistinct operator
+    (paper Remark 3.1). *)
+
+type profile = {
+  prof_name : string;
+  count_comm : bool;
+      (** Count materialized intermediate rows as simulated communication. *)
+}
+
+val neo4j_profile : profile
+val graphscope_profile : profile
+
+type stats = {
+  mutable operators : int;  (** Operators executed. *)
+  mutable intermediate_rows : int;  (** Total rows materialized across operators. *)
+  mutable intermediate_cells : int;  (** Rows weighted by width (FieldTrim effect). *)
+  mutable comm_rows : int;  (** Simulated shuffled rows (distributed profiles). *)
+  mutable comm_cells : int;
+      (** Shuffled rows weighted by row width — the simulated network volume
+          (what FieldTrim reduces). *)
+  mutable edges_touched : int;  (** Adjacency entries visited by expansions. *)
+  mutable peak_rows : int;  (** Largest single materialized batch. *)
+}
+
+exception Timeout
+(** Raised when the run exceeds its [budget] of CPU seconds — the engine's
+    analogue of the paper's one-hour OT cutoff. *)
+
+val run :
+  ?profile:profile ->
+  ?budget:float ->
+  Gopt_graph.Property_graph.t ->
+  Gopt_opt.Physical.t ->
+  Batch.t * stats
+(** Execute a plan. [profile] defaults to {!graphscope_profile}. *)

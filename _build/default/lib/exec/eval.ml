@@ -1,0 +1,141 @@
+module G = Gopt_graph.Property_graph
+module Value = Gopt_graph.Value
+module Expr = Gopt_pattern.Expr
+
+let lookup_of_row batch row tag =
+  match Batch.pos batch tag with
+  | i -> Some row.(i)
+  | exception Not_found -> None
+
+let num_binop op x y =
+  match x, y with
+  | Value.Int a, Value.Int b -> begin
+    match op with
+    | Expr.Add -> Value.Int (a + b)
+    | Expr.Sub -> Value.Int (a - b)
+    | Expr.Mul -> Value.Int (a * b)
+    | Expr.Div -> if b = 0 then Value.Null else Value.Int (a / b)
+    | Expr.Mod -> if b = 0 then Value.Null else Value.Int (a mod b)
+    | _ -> Value.Null
+  end
+  | _ -> begin
+    match Value.as_float x, Value.as_float y with
+    | Some a, Some b -> begin
+      match op with
+      | Expr.Add -> Value.Float (a +. b)
+      | Expr.Sub -> Value.Float (a -. b)
+      | Expr.Mul -> Value.Float (a *. b)
+      | Expr.Div -> if b = 0.0 then Value.Null else Value.Float (a /. b)
+      | _ -> Value.Null
+    end
+    | _ -> Value.Null
+  end
+
+let string_binop op x y =
+  match Value.as_string x, Value.as_string y with
+  | Some a, Some b ->
+    let starts_with ~prefix s =
+      String.length s >= String.length prefix
+      && String.sub s 0 (String.length prefix) = prefix
+    in
+    let ends_with ~suffix s =
+      String.length s >= String.length suffix
+      && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
+    in
+    let contains ~sub s =
+      let n = String.length sub and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+      n = 0 || go 0
+    in
+    Value.Bool
+      (match op with
+      | Expr.Starts_with -> starts_with ~prefix:b a
+      | Expr.Ends_with -> ends_with ~suffix:b a
+      | Expr.Contains -> contains ~sub:b a
+      | _ -> false)
+  | _ -> Value.Null
+
+let logic_and a b =
+  match a, b with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Bool true, Value.Bool true -> Value.Bool true
+  | _ -> Value.Null
+
+let logic_or a b =
+  match a, b with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Bool false, Value.Bool false -> Value.Bool false
+  | _ -> Value.Null
+
+let rec eval_rval g lookup e =
+  match e with
+  | Expr.Var tag -> ( match lookup tag with Some v -> v | None -> Rval.Rnull)
+  | _ -> Rval.Rval (eval g lookup e)
+
+and eval g lookup e =
+  match e with
+  | Expr.Const v -> v
+  | Expr.Var tag -> begin
+    match lookup tag with Some v -> Rval.to_value g v | None -> Value.Null
+  end
+  | Expr.Prop (tag, key) -> begin
+    match lookup tag with
+    | Some (Rval.Rvertex v) -> G.vprop g v key
+    | Some (Rval.Redge e) -> G.eprop g e key
+    | _ -> Value.Null
+  end
+  | Expr.Label tag -> begin
+    let schema = G.schema g in
+    match lookup tag with
+    | Some (Rval.Rvertex v) -> Value.Str (Gopt_graph.Schema.vtype_name schema (G.vtype g v))
+    | Some (Rval.Redge e) -> Value.Str (Gopt_graph.Schema.etype_name schema (G.etype g e))
+    | _ -> Value.Null
+  end
+  | Expr.Unop (op, inner) -> begin
+    let v = eval g lookup inner in
+    match op with
+    | Expr.Not -> begin
+      match v with Value.Bool b -> Value.Bool (not b) | _ -> Value.Null
+    end
+    | Expr.Neg -> begin
+      match v with
+      | Value.Int n -> Value.Int (-n)
+      | Value.Float f -> Value.Float (-.f)
+      | _ -> Value.Null
+    end
+    | Expr.Is_null -> Value.Bool (Value.is_null v)
+    | Expr.Is_not_null -> Value.Bool (not (Value.is_null v))
+  end
+  | Expr.Binop (op, l, r) -> begin
+    match op with
+    | Expr.And -> logic_and (eval g lookup l) (eval g lookup r)
+    | Expr.Or -> logic_or (eval g lookup l) (eval g lookup r)
+    | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Mod ->
+      let x = eval g lookup l and y = eval g lookup r in
+      if Value.is_null x || Value.is_null y then Value.Null else num_binop op x y
+    | Expr.Eq | Expr.Neq | Expr.Lt | Expr.Leq | Expr.Gt | Expr.Geq ->
+      (* graph values compare by identity without scalarization loss *)
+      let xv = eval_rval g lookup l and yv = eval_rval g lookup r in
+      let x = match xv with Rval.Rval v -> v | other -> Rval.to_value g other in
+      let y = match yv with Rval.Rval v -> v | other -> Rval.to_value g other in
+      if Value.is_null x || Value.is_null y then Value.Null
+      else
+        let c = Value.compare x y in
+        Value.Bool
+          (match op with
+          | Expr.Eq -> c = 0
+          | Expr.Neq -> c <> 0
+          | Expr.Lt -> c < 0
+          | Expr.Leq -> c <= 0
+          | Expr.Gt -> c > 0
+          | Expr.Geq -> c >= 0
+          | _ -> false)
+    | Expr.Starts_with | Expr.Ends_with | Expr.Contains ->
+      let x = eval g lookup l and y = eval g lookup r in
+      if Value.is_null x || Value.is_null y then Value.Null else string_binop op x y
+  end
+  | Expr.In_list (inner, vs) ->
+    let v = eval g lookup inner in
+    if Value.is_null v then Value.Null else Value.Bool (List.exists (Value.equal v) vs)
+
+let is_true = function Value.Bool true -> true | _ -> false

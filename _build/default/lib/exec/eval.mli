@@ -1,0 +1,27 @@
+(** Expression evaluation over rows.
+
+    Comparison and arithmetic follow SQL-ish null semantics: any comparison
+    or arithmetic involving Null yields Null; AND/OR use Kleene logic; a
+    SELECT keeps a row only when its predicate evaluates to [Bool true]
+    ({!is_true}). *)
+
+val eval :
+  Gopt_graph.Property_graph.t ->
+  (string -> Rval.t option) ->
+  Gopt_pattern.Expr.t ->
+  Gopt_graph.Value.t
+(** [eval g lookup e] evaluates [e]; [lookup] resolves tags to row values
+    (unknown tags evaluate to Null, matching optional-field semantics). *)
+
+val eval_rval :
+  Gopt_graph.Property_graph.t ->
+  (string -> Rval.t option) ->
+  Gopt_pattern.Expr.t ->
+  Rval.t
+(** Like {!eval} but preserves graph-typed values: [Var tag] returns the
+    tag's raw runtime value (so projecting a vertex keeps it a vertex). *)
+
+val is_true : Gopt_graph.Value.t -> bool
+
+val lookup_of_row : Batch.t -> Rval.t array -> string -> Rval.t option
+(** Standard row-based tag resolver. *)

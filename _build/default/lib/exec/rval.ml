@@ -1,0 +1,67 @@
+module G = Gopt_graph.Property_graph
+module Value = Gopt_graph.Value
+
+type t =
+  | Rnull
+  | Rvertex of int
+  | Redge of int
+  | Rpath of { edges : int list; verts : int list }
+  | Rval of Value.t
+  | Rlist of t list
+
+let rank = function
+  | Rnull -> 0
+  | Rval _ -> 1
+  | Rvertex _ -> 2
+  | Redge _ -> 3
+  | Rpath _ -> 4
+  | Rlist _ -> 5
+
+let rec compare a b =
+  match a, b with
+  | Rnull, Rnull -> 0
+  | Rvertex x, Rvertex y | Redge x, Redge y -> Int.compare x y
+  | Rpath p, Rpath q ->
+    let c = List.compare Int.compare p.edges q.edges in
+    if c <> 0 then c else List.compare Int.compare p.verts q.verts
+  | Rval x, Rval y -> Value.compare x y
+  | Rlist x, Rlist y -> List.compare compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Rnull -> 11
+  | Rvertex v -> Hashtbl.hash (1, v)
+  | Redge e -> Hashtbl.hash (2, e)
+  | Rpath { edges; verts } -> Hashtbl.hash (3, edges, verts)
+  | Rval v -> Hashtbl.hash (4, Value.hash v)
+  | Rlist l -> List.fold_left (fun acc x -> (acc * 31) + hash x) 5 l
+
+let to_value _g = function
+  | Rnull -> Value.Null
+  | Rvertex v -> Value.Int v
+  | Redge e -> Value.Int e
+  | Rpath { edges; _ } -> Value.Int (List.length edges)
+  | Rval v -> v
+  | Rlist l -> Value.Int (List.length l)
+
+let edge_ids = function
+  | Redge e -> [ e ]
+  | Rpath { edges; _ } -> edges
+  | Rnull | Rvertex _ | Rval _ | Rlist _ -> []
+
+let rec pp g ppf v =
+  let schema = G.schema g in
+  match v with
+  | Rnull -> Format.pp_print_string ppf "null"
+  | Rvertex x ->
+    Format.fprintf ppf "(%s#%d)" (Gopt_graph.Schema.vtype_name schema (G.vtype g x)) x
+  | Redge e ->
+    Format.fprintf ppf "-[%s#%d]-" (Gopt_graph.Schema.etype_name schema (G.etype g e)) e
+  | Rpath { verts; _ } ->
+    Format.fprintf ppf "path(%s)" (String.concat "->" (List.map string_of_int verts))
+  | Rval x -> Value.pp ppf x
+  | Rlist l ->
+    Format.fprintf ppf "[%s]"
+      (String.concat "; " (List.map (fun x -> Format.asprintf "%a" (pp g) x) l))

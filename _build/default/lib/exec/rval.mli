@@ -1,0 +1,31 @@
+(** Runtime values flowing between physical operators.
+
+    The GIR data model (paper §5.1) distinguishes graph-specific datatypes —
+    Vertex, Edge, Path — from general scalars and collections; rows in the
+    engine are arrays of these. *)
+
+type t =
+  | Rnull
+  | Rvertex of int
+  | Redge of int
+  | Rpath of { edges : int list; verts : int list }
+      (** [verts] has one more element than [edges]; both in traversal
+          order. *)
+  | Rval of Gopt_graph.Value.t
+  | Rlist of t list  (** Result of COLLECT. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_value : Gopt_graph.Property_graph.t -> t -> Gopt_graph.Value.t
+(** Scalar view used by comparisons, grouping and ordering: vertices and
+    edges map to their ids, paths to their hop count, lists to their
+    length. *)
+
+val edge_ids : t -> int list
+(** Edge ids contained in the value ([Redge], [Rpath]); empty otherwise.
+    Used by the AllDistinct no-repeated-edge filter. *)
+
+val pp : Gopt_graph.Property_graph.t -> Format.formatter -> t -> unit
+(** Render with vertex/edge type names for result display. *)

@@ -1,0 +1,1 @@
+lib/gir/ir_builder.ml: Array Gopt_graph Gopt_pattern Hashtbl List Logical Printf String

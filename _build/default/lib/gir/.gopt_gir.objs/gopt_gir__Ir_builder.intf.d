@@ -1,0 +1,1 @@
+lib/gir/ir_builder.mli: Gopt_graph Gopt_pattern Logical

@@ -1,0 +1,1 @@
+lib/gir/logical.ml: Array Gopt_pattern Hashtbl List Option

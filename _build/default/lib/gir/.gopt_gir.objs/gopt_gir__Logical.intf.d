@@ -1,0 +1,1 @@
+lib/gir/logical.mli: Gopt_pattern

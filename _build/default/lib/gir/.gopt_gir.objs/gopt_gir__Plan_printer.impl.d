@@ -1,0 +1,1 @@
+lib/gir/plan_printer.ml: Format Gopt_pattern List Logical Printf String

@@ -1,0 +1,1 @@
+lib/gir/plan_printer.mli: Format Gopt_graph Logical

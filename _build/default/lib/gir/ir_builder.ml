@@ -1,0 +1,307 @@
+module Schema = Gopt_graph.Schema
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Expr = Gopt_pattern.Expr
+
+type t = { sch : Schema.t; counter : int ref }
+
+type dir = Out | In | Both
+
+(* Edges under construction reference vertices by alias so that contexts are
+   cheap persistent values. *)
+type pedge = {
+  pe_alias : string;
+  pe_src : string;
+  pe_dst : string option; (* None while the far endpoint is pending *)
+  pe_con : Tc.t;
+  pe_pred : Expr.t option;
+  pe_directed : bool;
+  pe_flipped : bool; (* [In]: the new endpoint is the source *)
+  pe_hops : (int * int) option;
+  pe_path : Pattern.path_sem;
+}
+
+type pctx = {
+  b : t;
+  pvs : (string * Tc.t * Expr.t option) list; (* reversed *)
+  pes : pedge list; (* reversed *)
+}
+
+let create sch = { sch; counter = ref 0 }
+
+let schema b = b.sch
+
+let fresh b prefix =
+  incr b.counter;
+  Printf.sprintf "@%s%d" prefix !(b.counter)
+
+let resolve_vtypes b = function
+  | None -> Tc.All
+  | Some names ->
+    let ids = List.map (Schema.vtype_id b.sch) names in
+    (match Tc.of_list ~universe:(Schema.n_vtypes b.sch) ids with
+    | Some c -> c
+    | None -> invalid_arg "Ir_builder: empty vertex type list")
+
+let resolve_etypes b = function
+  | None -> Tc.All
+  | Some names ->
+    let ids = List.map (Schema.etype_id b.sch) names in
+    (match Tc.of_list ~universe:(Schema.n_etypes b.sch) ids with
+    | Some c -> c
+    | None -> invalid_arg "Ir_builder: empty edge type list")
+
+let pattern_start b = { b; pvs = []; pes = [] }
+
+let has_vertex ctx alias = List.exists (fun (a, _, _) -> a = alias) ctx.pvs
+
+let get_v ctx ?alias ?types ?pred () =
+  let alias = match alias with Some a -> a | None -> fresh ctx.b "v" in
+  if has_vertex ctx alias then
+    invalid_arg (Printf.sprintf "Ir_builder.get_v: vertex alias %S already used" alias);
+  let con = resolve_vtypes ctx.b types in
+  ({ ctx with pvs = (alias, con, pred) :: ctx.pvs }, alias)
+
+let add_edge_generic ctx ~from ?alias ?types ?pred ?hops ?(path_sem = Pattern.Arbitrary)
+    ~dir () =
+  if not (has_vertex ctx from) then
+    invalid_arg (Printf.sprintf "Ir_builder.expand_e: unknown vertex tag %S" from);
+  let alias = match alias with Some a -> a | None -> fresh ctx.b "e" in
+  if List.exists (fun e -> e.pe_alias = alias) ctx.pes then
+    invalid_arg (Printf.sprintf "Ir_builder.expand_e: edge alias %S already used" alias);
+  let con = resolve_etypes ctx.b types in
+  let directed, flipped =
+    match dir with Out -> (true, false) | In -> (true, true) | Both -> (false, false)
+  in
+  let e =
+    {
+      pe_alias = alias;
+      pe_src = from;
+      pe_dst = None;
+      pe_con = con;
+      pe_pred = pred;
+      pe_directed = directed;
+      pe_flipped = flipped;
+      pe_hops = hops;
+      pe_path = path_sem;
+    }
+  in
+  ({ ctx with pes = e :: ctx.pes }, alias)
+
+let expand_e ctx ~from ?alias ?types ?pred ~dir () =
+  add_edge_generic ctx ~from ?alias ?types ?pred ~dir ()
+
+let expand_path ctx ~from ?alias ?types ~hops ?path_sem ~dir () =
+  add_edge_generic ctx ~from ?alias ?types ~hops ?path_sem ~dir ()
+
+let get_v_from ctx ~edge ?alias ?types ?pred () =
+  let rec bind acc = function
+    | [] -> invalid_arg (Printf.sprintf "Ir_builder.get_v_from: unknown edge tag %S" edge)
+    | e :: rest when e.pe_alias = edge ->
+      if e.pe_dst <> None then
+        invalid_arg (Printf.sprintf "Ir_builder.get_v_from: edge %S already complete" edge);
+      let alias = match alias with Some a -> a | None -> fresh ctx.b "v" in
+      let ctx' =
+        if has_vertex ctx alias then begin
+          (* cycle closure: intersect constraint / conjoin predicate *)
+          let universe = Schema.n_vtypes ctx.b.sch in
+          let con = resolve_vtypes ctx.b types in
+          let pvs =
+            List.map
+              (fun (a, c, p) ->
+                if a <> alias then (a, c, p)
+                else
+                  let c' =
+                    match Tc.inter ~universe c con with
+                    | Some c' -> c'
+                    | None ->
+                      invalid_arg
+                        (Printf.sprintf
+                           "Ir_builder.get_v_from: incompatible types on %S" alias)
+                  in
+                  let p' =
+                    match p, pred with
+                    | None, q | q, None -> q
+                    | Some p, Some q -> Some (Expr.Binop (Expr.And, p, q))
+                  in
+                  (a, c', p'))
+              ctx.pvs
+          in
+          { ctx with pvs }
+        end
+        else
+          let con = resolve_vtypes ctx.b types in
+          { ctx with pvs = (alias, con, pred) :: ctx.pvs }
+      in
+      let e' = { e with pe_dst = Some alias } in
+      ({ ctx' with pes = List.rev_append acc (e' :: rest) }, alias)
+    | e :: rest -> bind (e :: acc) rest
+  in
+  bind [] ctx.pes
+
+let pattern_end ctx =
+  if ctx.pvs = [] then invalid_arg "Ir_builder.pattern_end: empty pattern";
+  let pvs = List.rev ctx.pvs in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i (a, _, _) -> Hashtbl.add index a i) pvs;
+  let vs =
+    Array.of_list
+      (List.map (fun (a, c, p) -> Pattern.mk_vertex ?pred:p ~alias:a c) pvs)
+  in
+  let es =
+    Array.of_list
+      (List.rev_map
+         (fun e ->
+           let dst =
+             match e.pe_dst with
+             | Some d -> d
+             | None ->
+               invalid_arg
+                 (Printf.sprintf "Ir_builder.pattern_end: edge %S has a pending endpoint"
+                    e.pe_alias)
+           in
+           let s = Hashtbl.find index e.pe_src and d = Hashtbl.find index dst in
+           let s, d = if e.pe_flipped then (d, s) else (s, d) in
+           Pattern.mk_edge ?pred:e.pe_pred ~directed:e.pe_directed ?hops:e.pe_hops
+             ~path:e.pe_path ~alias:e.pe_alias ~src:s ~dst:d e.pe_con)
+         ctx.pes)
+  in
+  Pattern.create vs es
+
+let match_pattern p = Logical.Match p
+let select x e = Logical.Select (x, e)
+let project x ps = Logical.Project (x, ps)
+let join ?(kind = Logical.Inner) ~keys left right = Logical.Join { left; right; keys; kind }
+let group ~keys ~aggs x = Logical.Group (x, keys, aggs)
+
+let agg ?arg ~alias fn =
+  (match fn, arg with
+  | Logical.Count, _ -> ()
+  | _, Some _ -> ()
+  | _, None -> invalid_arg "Ir_builder.agg: this aggregate requires an argument");
+  { Logical.agg_fn = fn; agg_arg = arg; agg_alias = alias }
+
+let order ~keys ?limit x = Logical.Order (x, keys, limit)
+let limit x n = Logical.Limit (x, n)
+let skip x n = Logical.Skip (x, n)
+let unwind x e ~alias = Logical.Unwind (x, e, alias)
+let dedup ?(tags = []) x = Logical.Dedup (x, tags)
+let union a b = Logical.Union (a, b)
+let all_distinct ?(tags = []) x = Logical.All_distinct (x, tags)
+
+(* Static validation: walk the plan bottom-up, checking tag visibility. *)
+let check plan =
+  let open Logical in
+  let exception Bad of string in
+  let need fields e =
+    List.iter
+      (fun tag ->
+        if not (List.mem tag fields) then
+          raise (Bad (Printf.sprintf "unbound tag %S in expression %s" tag (Expr.to_string e))))
+      (Expr.free_tags e)
+  in
+  (* [common] is the field list provided by an enclosing With_common for
+     Common_ref leaves. *)
+  let rec go common plan =
+    match plan with
+    | Match p ->
+      ignore (p : Pattern.t);
+      output_fields plan
+    | Common_ref -> begin
+      match common with
+      | Some fields -> fields
+      | None -> raise (Bad "Common_ref outside With_common")
+    end
+    | Pattern_cont (x, p) ->
+      let fields = go common x in
+      let pat_vfields =
+        Array.to_list (Pattern.vertices p) |> List.map (fun v -> v.Pattern.v_alias)
+      in
+      if not (List.exists (fun f -> List.mem f pat_vfields) fields) then
+        raise (Bad "Pattern_cont: input shares no vertex alias with the pattern");
+      dedup_fields (fields @ output_fields (Match p))
+    | With_common { common = c; left; right; combine } ->
+      let cf = go common c in
+      let lf = go (Some cf) left in
+      let rf = go (Some cf) right in
+      (match combine with
+      | C_union ->
+        if List.sort String.compare lf <> List.sort String.compare rf then
+          raise (Bad "With_common union branches have different fields");
+        lf
+      | C_join (keys, kind) ->
+        List.iter
+          (fun k ->
+            if not (List.mem k lf && List.mem k rf) then
+              raise (Bad (Printf.sprintf "With_common join key %S missing" k)))
+          keys;
+        (match kind with
+        | Semi | Anti -> lf
+        | Inner | Left_outer -> dedup_fields (lf @ rf)))
+    | Select (x, e) ->
+      let fields = go common x in
+      need fields e;
+      fields
+    | Project (x, ps) ->
+      let fields = go common x in
+      List.iter (fun (e, _) -> need fields e) ps;
+      List.map snd ps
+    | Join { left; right; keys; kind } ->
+      let lf = go common left and rf = go common right in
+      List.iter
+        (fun k ->
+          if not (List.mem k lf && List.mem k rf) then
+            raise (Bad (Printf.sprintf "join key %S missing from an input" k)))
+        keys;
+      (match kind with Semi | Anti -> lf | Inner | Left_outer -> dedup_fields (lf @ rf))
+    | Group (x, ks, aggs) ->
+      let fields = go common x in
+      List.iter (fun (e, _) -> need fields e) ks;
+      List.iter
+        (fun a -> match a.agg_arg with Some e -> need fields e | None -> ())
+        aggs;
+      List.map snd ks @ List.map (fun a -> a.agg_alias) aggs
+    | Order (x, ks, _) ->
+      let fields = go common x in
+      List.iter (fun (e, _) -> need fields e) ks;
+      fields
+    | Limit (x, _) | Skip (x, _) -> go common x
+    | Unwind (x, e, alias) ->
+      let fields = go common x in
+      need fields e;
+      dedup_fields (fields @ [ alias ])
+    | Dedup (x, tags) ->
+      let fields = go common x in
+      List.iter
+        (fun tag ->
+          if not (List.mem tag fields) then
+            raise (Bad (Printf.sprintf "dedup tag %S unbound" tag)))
+        tags;
+      fields
+    | Union (a, b) ->
+      let fa = go common a and fb = go common b in
+      if List.sort String.compare fa <> List.sort String.compare fb then
+        raise (Bad "union branches have different fields");
+      fa
+    | All_distinct (x, tags) ->
+      let fields = go common x in
+      List.iter
+        (fun tag ->
+          if not (List.mem tag fields) then
+            raise (Bad (Printf.sprintf "all_distinct tag %S unbound" tag)))
+        tags;
+      fields
+  and dedup_fields l =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun x ->
+        if Hashtbl.mem seen x then false
+        else begin
+          Hashtbl.add seen x ();
+          true
+        end)
+      l
+  in
+  match go None plan with
+  | (_ : string list) -> Ok ()
+  | exception Bad msg -> Error msg

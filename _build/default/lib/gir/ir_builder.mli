@@ -1,0 +1,104 @@
+(** GraphIrBuilder — the high-level interface for constructing GIR plans
+    (paper §5.2).
+
+    Frontends (and users embedding GOpt) build patterns step by step —
+    [pattern_start .. get_v / expand_e / get_v_from / expand_path ..
+    pattern_end] — and then compose relational operators over them. Aliases
+    name results for later reference (the paper's [Alias()] / [Tag()]
+    mechanism); anonymous elements get fresh ["@v3"] / ["@e2"] aliases.
+
+    Type constraints are given as lists of type {e names}, resolved against
+    the schema; [None] means AllType, a singleton means BasicType, several
+    names a UnionType. *)
+
+type t
+(** A builder bound to a schema (used to resolve type names and to invent
+    fresh aliases). *)
+
+type dir = Out | In | Both
+
+type pctx
+(** A pattern under construction. Values of this type are immutable; each
+    step returns an extended context, so contexts can be reused to build
+    pattern variants. *)
+
+val create : Gopt_graph.Schema.t -> t
+
+val schema : t -> Gopt_graph.Schema.t
+
+(** {1 Pattern construction} *)
+
+val pattern_start : t -> pctx
+
+val get_v :
+  pctx -> ?alias:string -> ?types:string list -> ?pred:Gopt_pattern.Expr.t -> unit ->
+  pctx * string
+(** Introduce a standalone pattern vertex (a scan source). Returns the
+    extended context and the vertex alias. Raises [Invalid_argument] on
+    unknown type names or duplicate alias. *)
+
+val expand_e :
+  pctx -> from:string -> ?alias:string -> ?types:string list ->
+  ?pred:Gopt_pattern.Expr.t -> dir:dir -> unit -> pctx * string
+(** Expand an edge from the tagged vertex, leaving its far endpoint pending
+    until the next {!get_v_from}. Returns the edge alias. *)
+
+val expand_path :
+  pctx -> from:string -> ?alias:string -> ?types:string list ->
+  hops:int * int -> ?path_sem:Gopt_pattern.Pattern.path_sem -> dir:dir -> unit ->
+  pctx * string
+(** Like {!expand_e} for a variable-length path of [hops] edges
+    (EXPAND_PATH). *)
+
+val get_v_from :
+  pctx -> edge:string -> ?alias:string -> ?types:string list ->
+  ?pred:Gopt_pattern.Expr.t -> unit -> pctx * string
+(** Bind the pending endpoint of edge [edge]. If [alias] names a vertex
+    already in the pattern, the endpoint unifies with it (closing a cycle)
+    and the given types/pred are intersected/conjoined onto it. *)
+
+val pattern_end : pctx -> Gopt_pattern.Pattern.t
+(** Finish the pattern. Raises [Invalid_argument] if an edge endpoint is
+    still pending or the pattern is empty. *)
+
+(** {1 Relational composition} *)
+
+val match_pattern : Gopt_pattern.Pattern.t -> Logical.t
+
+val select : Logical.t -> Gopt_pattern.Expr.t -> Logical.t
+
+val project : Logical.t -> (Gopt_pattern.Expr.t * string) list -> Logical.t
+
+val join :
+  ?kind:Logical.join_kind -> keys:string list -> Logical.t -> Logical.t -> Logical.t
+
+val group :
+  keys:(Gopt_pattern.Expr.t * string) list -> aggs:Logical.agg list -> Logical.t ->
+  Logical.t
+
+val agg : ?arg:Gopt_pattern.Expr.t -> alias:string -> Logical.agg_fn -> Logical.agg
+
+val order :
+  keys:(Gopt_pattern.Expr.t * Logical.sort_dir) list -> ?limit:int -> Logical.t ->
+  Logical.t
+
+val limit : Logical.t -> int -> Logical.t
+
+val skip : Logical.t -> int -> Logical.t
+
+val unwind : Logical.t -> Gopt_pattern.Expr.t -> alias:string -> Logical.t
+
+val dedup : ?tags:string list -> Logical.t -> Logical.t
+
+val union : Logical.t -> Logical.t -> Logical.t
+
+val all_distinct : ?tags:string list -> Logical.t -> Logical.t
+(** Append the no-repeated-edge filter (Cypher match semantics,
+    Remark 3.1) over the given edge fields ([[]] = all edges below). *)
+
+(** {1 Validation} *)
+
+val check : Logical.t -> (unit, string) result
+(** Static sanity check: every expression's free tags are visible in its
+    input, join keys exist on both sides, group/order references resolve.
+    Frontends run this after lowering. *)

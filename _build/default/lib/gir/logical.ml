@@ -1,0 +1,149 @@
+module Pattern = Gopt_pattern.Pattern
+module Expr = Gopt_pattern.Expr
+
+type agg_fn = Count | Count_distinct | Sum | Avg | Min | Max | Collect
+
+type sort_dir = Asc | Desc
+
+type join_kind = Inner | Left_outer | Semi | Anti
+
+type agg = {
+  agg_fn : agg_fn;
+  agg_arg : Expr.t option;
+  agg_alias : string;
+}
+
+type t =
+  | Match of Pattern.t
+  | Pattern_cont of t * Pattern.t
+  | Common_ref
+  | With_common of { common : t; left : t; right : t; combine : combine }
+  | Select of t * Expr.t
+  | Project of t * (Expr.t * string) list
+  | Join of { left : t; right : t; keys : string list; kind : join_kind }
+  | Group of t * (Expr.t * string) list * agg list
+  | Order of t * (Expr.t * sort_dir) list * int option
+  | Limit of t * int
+  | Skip of t * int
+  | Unwind of t * Expr.t * string
+  | Dedup of t * string list
+  | Union of t * t
+  | All_distinct of t * string list
+
+and combine = C_union | C_join of string list * join_kind
+
+let map_children f = function
+  | (Match _ | Common_ref) as leaf -> leaf
+  | Pattern_cont (x, p) -> Pattern_cont (f x, p)
+  | With_common { common; left; right; combine } ->
+    With_common { common = f common; left = f left; right = f right; combine }
+  | Select (x, e) -> Select (f x, e)
+  | Project (x, ps) -> Project (f x, ps)
+  | Join { left; right; keys; kind } -> Join { left = f left; right = f right; keys; kind }
+  | Group (x, ks, aggs) -> Group (f x, ks, aggs)
+  | Order (x, ks, lim) -> Order (f x, ks, lim)
+  | Limit (x, n) -> Limit (f x, n)
+  | Skip (x, n) -> Skip (f x, n)
+  | Unwind (x, e, a) -> Unwind (f x, e, a)
+  | Dedup (x, tags) -> Dedup (f x, tags)
+  | Union (a, b) -> Union (f a, f b)
+  | All_distinct (x, tags) -> All_distinct (f x, tags)
+
+let children = function
+  | Match _ | Common_ref -> []
+  | Pattern_cont (x, _)
+  | Select (x, _)
+  | Project (x, _)
+  | Group (x, _, _)
+  | Order (x, _, _)
+  | Limit (x, _)
+  | Skip (x, _)
+  | Unwind (x, _, _)
+  | Dedup (x, _)
+  | All_distinct (x, _) -> [ x ]
+  | With_common { common; left; right; _ } -> [ common; left; right ]
+  | Join { left; right; _ } | Union (left, right) -> [ left; right ]
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) (children t)
+
+let pattern_fields p =
+  let vs = Array.to_list (Pattern.vertices p) in
+  let es = Array.to_list (Pattern.edges p) in
+  List.map (fun v -> v.Pattern.v_alias) vs @ List.map (fun e -> e.Pattern.e_alias) es
+
+let dedup_keep_order l =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    l
+
+let rec output_fields = function
+  | Match p -> pattern_fields p
+  | Pattern_cont (x, p) -> dedup_keep_order (output_fields x @ pattern_fields p)
+  | Common_ref -> []
+  | With_common { left; right; combine; _ } -> begin
+    match combine with
+    | C_union -> output_fields left
+    | C_join (_, (Semi | Anti)) -> output_fields left
+    | C_join (_, _) -> dedup_keep_order (output_fields left @ output_fields right)
+  end
+  | Select (x, _) -> output_fields x
+  | Project (_, ps) -> List.map snd ps
+  | Join { left; right; kind; _ } -> begin
+    match kind with
+    | Semi | Anti -> output_fields left
+    | Inner | Left_outer -> dedup_keep_order (output_fields left @ output_fields right)
+  end
+  | Group (_, ks, aggs) -> List.map snd ks @ List.map (fun a -> a.agg_alias) aggs
+  | Order (x, _, _) | Limit (x, _) | Skip (x, _) | Dedup (x, _) | All_distinct (x, _) ->
+    output_fields x
+  | Unwind (x, _, alias) -> dedup_keep_order (output_fields x @ [ alias ])
+  | Union (a, _) -> output_fields a
+
+let rec equal a b =
+  match a, b with
+  | Match p, Match q -> Gopt_pattern.Canonical.keyed_code p = Gopt_pattern.Canonical.keyed_code q
+  | Pattern_cont (x, p), Pattern_cont (y, q) ->
+    equal x y && Gopt_pattern.Canonical.keyed_code p = Gopt_pattern.Canonical.keyed_code q
+  | Common_ref, Common_ref -> true
+  | With_common a', With_common b' ->
+    equal a'.common b'.common && equal a'.left b'.left && equal a'.right b'.right
+    && a'.combine = b'.combine
+  | Select (x, e), Select (y, f) -> equal x y && Expr.equal e f
+  | Project (x, ps), Project (y, qs) ->
+    equal x y
+    && List.length ps = List.length qs
+    && List.for_all2 (fun (e, n) (f, m) -> Expr.equal e f && n = m) ps qs
+  | Join a', Join b' ->
+    equal a'.left b'.left && equal a'.right b'.right && a'.keys = b'.keys && a'.kind = b'.kind
+  | Group (x, ks, ags), Group (y, ls, bgs) ->
+    equal x y
+    && List.length ks = List.length ls
+    && List.for_all2 (fun (e, n) (f, m) -> Expr.equal e f && n = m) ks ls
+    && List.length ags = List.length bgs
+    && List.for_all2
+         (fun a b ->
+           a.agg_fn = b.agg_fn && a.agg_alias = b.agg_alias
+           && Option.equal Expr.equal a.agg_arg b.agg_arg)
+         ags bgs
+  | Order (x, ks, l1), Order (y, ls, l2) ->
+    equal x y && l1 = l2
+    && List.length ks = List.length ls
+    && List.for_all2 (fun (e, d1) (f, d2) -> Expr.equal e f && d1 = d2) ks ls
+  | Limit (x, n), Limit (y, m) -> equal x y && n = m
+  | Skip (x, n), Skip (y, m) -> equal x y && n = m
+  | Unwind (x, e, a), Unwind (y, f, b) -> equal x y && Expr.equal e f && a = b
+  | Dedup (x, ts), Dedup (y, us) -> equal x y && ts = us
+  | Union (a1, a2), Union (b1, b2) -> equal a1 b1 && equal a2 b2
+  | All_distinct (x, ts), All_distinct (y, us) -> equal x y && ts = us
+  | ( ( Match _ | Pattern_cont _ | Common_ref | With_common _ | Select _ | Project _
+      | Join _ | Group _ | Order _ | Limit _ | Skip _ | Unwind _ | Dedup _ | Union _
+      | All_distinct _ ),
+      _ ) -> false
+
+let size t = fold (fun n _ -> n + 1) 0 t

@@ -1,0 +1,78 @@
+(** The unified Graph Intermediate Representation — logical plans (paper §5.1).
+
+    A CGP is a DAG of operators over tagged tuples. Graph operators
+    (MATCH_PATTERN, and pattern continuation for factored common
+    subpatterns) retrieve graph data; relational operators (SELECT, PROJECT,
+    JOIN, GROUP, ORDER, LIMIT, DEDUP, UNION) transform it. Every
+    intermediate field has a name (its tag); {!output_fields} computes the
+    visible tags of a plan.
+
+    The logical plan is language-independent: both the Cypher and the Gremlin
+    frontends lower to this type, and all optimization (RBO, type inference,
+    CBO) happens on it. *)
+
+type agg_fn = Count | Count_distinct | Sum | Avg | Min | Max | Collect
+
+type sort_dir = Asc | Desc
+
+type join_kind = Inner | Left_outer | Semi | Anti
+
+type agg = {
+  agg_fn : agg_fn;
+  agg_arg : Gopt_pattern.Expr.t option;  (** [None] only for [Count], meaning count-star. *)
+  agg_alias : string;
+}
+
+type t =
+  | Match of Gopt_pattern.Pattern.t
+      (** MATCH_PATTERN: emit one row per homomorphism, one field per
+          pattern-element alias. *)
+  | Pattern_cont of t * Gopt_pattern.Pattern.t
+      (** [Pattern_cont (input, p)]: input rows bind a subset of [p]'s vertex
+          aliases; extend each binding to full matches of [p]. Produced by the
+          ComSubPattern rewrite and by bidirectional path plans. *)
+  | Common_ref
+      (** Placeholder leaf inside {!With_common} branches: the rows of the
+          shared common subplan. *)
+  | With_common of { common : t; left : t; right : t; combine : combine }
+      (** Evaluate [common] once; evaluate both branches (which may use
+          {!Common_ref}); combine. *)
+  | Select of t * Gopt_pattern.Expr.t
+  | Project of t * (Gopt_pattern.Expr.t * string) list
+  | Join of { left : t; right : t; keys : string list; kind : join_kind }
+      (** Equi-join on shared tags. For [Semi]/[Anti] only [left]'s fields
+          survive. *)
+  | Group of t * (Gopt_pattern.Expr.t * string) list * agg list
+  | Order of t * (Gopt_pattern.Expr.t * sort_dir) list * int option
+      (** Optional fused top-k limit. *)
+  | Limit of t * int
+  | Skip of t * int  (** Drop the first n rows (Cypher SKIP). *)
+  | Unwind of t * Gopt_pattern.Expr.t * string
+      (** Evaluate the expression per row and emit one output row per element
+          of the resulting collection, bound under the new tag (Cypher
+          UNWIND; the Unfold operator of the paper's Fig. 3(e)). *)
+  | Dedup of t * string list  (** Distinct on tags; [[]] = whole row. *)
+  | Union of t * t
+  | All_distinct of t * string list
+      (** Pairwise-distinct filter over edge-valued fields: converts
+          homomorphism semantics to Cypher's no-repeated-edge semantics
+          (paper Remark 3.1). The list names the edge fields to compare;
+          [[]] means every edge field below. The list stays explicit so that
+          per-MATCH scoping survives pattern fusion (JoinToPattern). *)
+
+and combine = C_union | C_join of string list * join_kind
+
+val map_children : (t -> t) -> t -> t
+(** Rebuild a node with all direct children transformed. *)
+
+val fold : ('acc -> t -> 'acc) -> 'acc -> t -> 'acc
+(** Pre-order fold over all nodes. *)
+
+val output_fields : t -> string list
+(** Tags visible in the operator's output, in a stable order. *)
+
+val equal : t -> t -> bool
+(** Structural equality (used by the fixpoint rewriter's convergence test). *)
+
+val size : t -> int
+(** Number of operator nodes. *)

@@ -1,0 +1,9 @@
+(** Pretty-printing of GIR logical plans.
+
+    Operators print in the paper's ALL_UPPERCASE convention
+    (MATCH_PATTERN, SELECT, PROJECT, ...), one per line, children indented —
+    the format used by EXPLAIN output, golden tests and the examples. *)
+
+val pp : ?schema:Gopt_graph.Schema.t -> Format.formatter -> Logical.t -> unit
+
+val to_string : ?schema:Gopt_graph.Schema.t -> Logical.t -> string

@@ -1,0 +1,1 @@
+lib/glogue/glogue.ml: Array Gopt_graph Gopt_pattern Gopt_util Hashtbl List Motif_counter Option

@@ -1,0 +1,1 @@
+lib/glogue/glogue.mli: Gopt_graph Gopt_pattern

@@ -1,0 +1,1 @@
+lib/glogue/glogue_query.ml: Array Float Fun Glogue Gopt_graph Gopt_pattern Hashtbl Histograms List Option

@@ -1,0 +1,1 @@
+lib/glogue/glogue_query.mli: Glogue Gopt_graph Gopt_pattern Histograms

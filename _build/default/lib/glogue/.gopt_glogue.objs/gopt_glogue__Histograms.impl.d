@@ -1,0 +1,1 @@
+lib/glogue/histograms.ml: Array Float Gopt_graph Hashtbl List Option

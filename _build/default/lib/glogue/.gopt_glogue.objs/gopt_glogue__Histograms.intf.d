@@ -1,0 +1,1 @@
+lib/glogue/histograms.mli: Gopt_graph

@@ -1,0 +1,1 @@
+lib/glogue/motif_counter.ml: Array Gopt_graph Gopt_pattern Hashtbl List Option

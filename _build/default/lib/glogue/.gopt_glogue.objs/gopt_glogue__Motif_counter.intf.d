@@ -1,0 +1,1 @@
+lib/glogue/motif_counter.mli: Gopt_graph Gopt_pattern

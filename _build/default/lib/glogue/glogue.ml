@@ -1,0 +1,156 @@
+module G = Gopt_graph.Property_graph
+module Schema = Gopt_graph.Schema
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Canonical = Gopt_pattern.Canonical
+
+type t = {
+  store : (string, float) Hashtbl.t;
+  graph : G.t;
+  max_k : int;
+}
+
+let v ~alias t = Pattern.mk_vertex ~alias (Tc.Basic t)
+
+let single_vertex_pattern t = Pattern.create [| v ~alias:"a" t |] [||]
+
+let single_edge_pattern ~src ~etype ~dst =
+  Pattern.create
+    [| v ~alias:"a" src; v ~alias:"b" dst |]
+    [| Pattern.mk_edge ~alias:"e" ~src:0 ~dst:1 (Tc.Basic etype) |]
+
+(* 3-vertex pattern: center [bt] with two incident edges described by
+   (dir, etype, far vtype) classes. *)
+let wedge_pattern bt (d1, et1, ft1) (d2, et2, ft2) =
+  let vs = [| v ~alias:"c" bt; v ~alias:"x" ft1; v ~alias:"y" ft2 |] in
+  let mk alias far (d, et) =
+    match d with
+    | `Out -> Pattern.mk_edge ~alias ~src:0 ~dst:far (Tc.Basic et)
+    | `In -> Pattern.mk_edge ~alias ~src:far ~dst:0 (Tc.Basic et)
+  in
+  Pattern.create vs [| mk "e1" 1 (d1, et1); mk "e2" 2 (d2, et2) |]
+
+let triangle_pattern ~ta ~tb ~tc ~ab:(et_ab, fwd_ab) ~bc:(et_bc, fwd_bc) ~ac:(et_ac, fwd_ac) =
+  let vs = [| v ~alias:"a" ta; v ~alias:"b" tb; v ~alias:"c" tc |] in
+  let mk alias i j (et, fwd) =
+    if fwd then Pattern.mk_edge ~alias ~src:i ~dst:j (Tc.Basic et)
+    else Pattern.mk_edge ~alias ~src:j ~dst:i (Tc.Basic et)
+  in
+  Pattern.create vs [| mk "e1" 0 1 (et_ab, fwd_ab); mk "e2" 1 2 (et_bc, fwd_bc); mk "e3" 0 2 (et_ac, fwd_ac) |]
+
+(* Keep each edge independently with probability [rate]: the sampled graph
+   used for sparsified motif counting. *)
+let sample_edges graph rate seed =
+  let schema = G.schema graph in
+  let rng = Gopt_util.Prng.create seed in
+  let b = G.Builder.create schema in
+  for v = 0 to G.n_vertices graph - 1 do
+    ignore (G.Builder.add_vertex b ~vtype:(G.vtype graph v) [])
+  done;
+  for e = 0 to G.n_edges graph - 1 do
+    if Gopt_util.Prng.float rng 1.0 < rate then
+      ignore
+        (G.Builder.add_edge b ~src:(G.esrc graph e) ~dst:(G.edst graph e)
+           ~etype:(G.etype graph e) [])
+  done;
+  G.Builder.freeze b
+
+let build ?(max_k = 3) ?(sparsify = 1.0) ?(seed = 97) graph =
+  if max_k < 1 || max_k > 3 then invalid_arg "Glogue.build: max_k must be 1, 2 or 3";
+  if sparsify <= 0.0 || sparsify > 1.0 then
+    invalid_arg "Glogue.build: sparsify must be in (0, 1]";
+  let original = graph in
+  let graph = if sparsify < 1.0 then sample_edges graph sparsify seed else graph in
+  (* each motif edge was kept with probability [sparsify]: scale by its
+     inverse per edge to keep estimates unbiased *)
+  let scale n_edges = (1.0 /. sparsify) ** float_of_int n_edges in
+  let schema = G.schema graph in
+  let store = Hashtbl.create 1024 in
+  let put_scaled n_edges p f = Hashtbl.replace store (Canonical.iso_code p) (f *. scale n_edges) in
+  (* k = 1: vertex types (exact, from the original graph) and single edges *)
+  let put p f = Hashtbl.replace store (Canonical.iso_code p) f in
+  List.iter
+    (fun t -> put (single_vertex_pattern t) (float_of_int (G.count_vtype original t)))
+    (Schema.all_vtypes schema);
+  Array.iter
+    (fun (s, e, d) ->
+      (* single-edge counts are O(|E|) to obtain exactly; no need to sample *)
+      put
+        (single_edge_pattern ~src:s ~etype:e ~dst:d)
+        (float_of_int (G.triple_count original ~src:s ~etype:e ~dst:d)))
+    (Schema.triples schema);
+  if max_k >= 3 then begin
+    (* all schema-consistent 2-edge motifs default to zero, so that absent
+       combinations are known-zero rather than unknown *)
+    List.iter
+      (fun bt ->
+        let classes =
+          List.map (fun (et, ft) -> (`Out, et, ft)) (Schema.out_schema schema bt)
+          @ List.map (fun (et, ft) -> (`In, et, ft)) (Schema.in_schema schema bt)
+        in
+        List.iteri
+          (fun i c1 ->
+            List.iteri
+              (fun j c2 ->
+                if j >= i then begin
+                  let p = wedge_pattern bt c1 c2 in
+                  let code = Canonical.iso_code p in
+                  if not (Hashtbl.mem store code) then Hashtbl.add store code 0.0
+                end)
+              classes)
+          classes)
+      (Schema.all_vtypes schema);
+    (* observed 2-edge motif counts, in closed form *)
+    Motif_counter.wedge_counts graph (fun ((bt, d1, et1, ft1), (_, d2, et2, ft2)) total ->
+        put_scaled 2 (wedge_pattern bt (d1, et1, ft1) (d2, et2, ft2)) total);
+    (* typed triangles *)
+    let allowed = Hashtbl.create 64 in
+    Array.iter
+      (fun (s, e, d) ->
+        let key = (s, d) in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt allowed key) in
+        Hashtbl.replace allowed key (e :: cur))
+      (Schema.triples schema);
+    let opts x y =
+      List.map (fun e -> (e, true)) (Option.value ~default:[] (Hashtbl.find_opt allowed (x, y)))
+      @ List.map (fun e -> (e, false)) (Option.value ~default:[] (Hashtbl.find_opt allowed (y, x)))
+    in
+    List.iter
+      (fun ta ->
+        List.iter
+          (fun tb ->
+            List.iter
+              (fun tc ->
+                let ab_opts = opts ta tb and bc_opts = opts tb tc and ac_opts = opts ta tc in
+                if ab_opts <> [] && bc_opts <> [] && ac_opts <> [] then
+                  List.iter
+                    (fun ab ->
+                      List.iter
+                        (fun bc ->
+                          List.iter
+                            (fun ac ->
+                              let p = triangle_pattern ~ta ~tb ~tc ~ab ~bc ~ac in
+                              let code = Canonical.iso_code p in
+                              if not (Hashtbl.mem store code) then begin
+                                let f = Motif_counter.triangle_count graph ~ab ~bc ~ac ~ta ~tb ~tc in
+                                Hashtbl.add store code (f *. scale 3)
+                              end)
+                            ac_opts)
+                        bc_opts)
+                    ab_opts)
+              (Schema.all_vtypes schema))
+          (Schema.all_vtypes schema))
+      (Schema.all_vtypes schema)
+  end;
+  { store; graph = original; max_k }
+
+let graph t = t.graph
+let max_k t = t.max_k
+let n_entries t = Hashtbl.length t.store
+let find_code t code = Hashtbl.find_opt t.store code
+let find t p = find_code t (Canonical.iso_code p)
+
+let vertex_freq t vt = float_of_int (G.count_vtype t.graph vt)
+
+let triple_freq t ~src ~etype ~dst =
+  float_of_int (G.triple_count t.graph ~src ~etype ~dst)

@@ -1,0 +1,53 @@
+(** GLogue — the high-order statistics store (paper §4 and §6.3.1, following
+    GLogS).
+
+    GLogue precomputes the frequencies of small typed patterns ("motifs") in
+    the data graph, up to [max_k] vertices, keyed by isomorphism code:
+
+    - [max_k = 1]: vertex counts per type, edge counts per schema triple —
+      the classical {e low-order} statistics;
+    - [max_k = 3] (default): additionally all 2-edge motifs (wedges, paths,
+      forks — counted in closed form from degree vectors) and all typed
+      triangles (counted exactly by edge iteration + neighbour
+      intersection) — the {e high-order} statistics that drive precise
+      cardinality estimation.
+
+    Only BasicType motifs are stored; UnionType/AllType estimation is the
+    job of {!Glogue_query}, which decomposes over this store. *)
+
+type t
+
+val build : ?max_k:int -> ?sparsify:float -> ?seed:int -> Gopt_graph.Property_graph.t -> t
+(** Count all schema-consistent motifs of up to [max_k] vertices. [max_k]
+    must be 1, 2 or 3.
+
+    [sparsify] enables the graph-sparsification technique of GLogS (cited in
+    paper §6.3.1) for large graphs: motifs are counted on a random edge
+    sample of rate [p] (each edge kept independently with probability [p])
+    and the counts are scaled by [1/p^edges]. Vertex counts stay exact.
+    Estimates are unbiased; variance shrinks as the true counts grow, which
+    is exactly the regime where exact counting is expensive. [p] must be in
+    (0, 1]; 1 (the default) means exact counting. *)
+
+val graph : t -> Gopt_graph.Property_graph.t
+(** The graph the statistics were computed over (also serves per-type vertex
+    and edge counts). *)
+
+val max_k : t -> int
+
+val n_entries : t -> int
+(** Number of stored motif frequencies. *)
+
+val find : t -> Gopt_pattern.Pattern.t -> float option
+(** Frequency of a stored motif, up to isomorphism; [None] when the pattern
+    is not a stored motif (too large, or carries non-basic constraints that
+    were never enumerated). *)
+
+val find_code : t -> string -> float option
+(** Lookup by precomputed {!Gopt_pattern.Canonical.iso_code}. *)
+
+val vertex_freq : t -> int -> float
+(** Frequency of a vertex type (count of vertices). *)
+
+val triple_freq : t -> src:int -> etype:int -> dst:int -> float
+(** Frequency of a schema triple (count of realizing edges). *)

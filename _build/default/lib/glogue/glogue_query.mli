@@ -1,0 +1,45 @@
+(** GLogueQuery — cardinality estimation for arbitrary patterns
+    (paper §6.3.1).
+
+    Provides the unified [get_freq] interface over a {!Glogue} store:
+
+    - patterns whose motif (up to isomorphism, BasicTypes, within the
+      store's [max_k]) is stored are answered exactly;
+    - single-edge patterns with arbitrary (Union/All) constraints are
+      answered by summing the compatible schema-triple frequencies — the
+      UnionType summation of the paper's expand-ratio definition;
+    - larger or union-typed patterns are estimated with Eq. 2: repeatedly
+      peel a non-cut vertex [v] off the pattern, multiplying the frequency of
+      the remainder by expand ratios [sigma] — the first incident edge
+      introduces [v] (case 1), subsequent incident edges close cycles onto it
+      (case 2);
+    - disconnected patterns multiply their components' frequencies (the
+      independence assumption of Eq. 1);
+    - variable-length path edges contribute a product of per-hop ratios with
+      unconstrained intermediate vertices;
+    - predicates contribute a constant selectivity factor each
+      (paper Remark 7.1; default 0.1).
+
+    Estimates are memoized per isomorphism code. *)
+
+type mode = High_order | Low_order
+
+type t
+
+val create :
+  ?selectivity:float -> ?mode:mode -> ?histograms:Histograms.t -> Glogue.t -> t
+(** [mode] defaults to [High_order]. [Low_order] restricts store lookups to
+    single vertices and edges, estimating everything else — the baseline of
+    the Fig. 8(d) experiment. When [histograms] are supplied, predicate
+    selectivities come from them instead of the constant default. *)
+
+val get_freq : t -> Gopt_pattern.Pattern.t -> float
+(** Estimated (or exact, when stored) pattern frequency. *)
+
+val glogue : t -> Glogue.t
+val schema : t -> Gopt_graph.Schema.t
+val mode : t -> mode
+val selectivity : t -> float
+
+val cache_size : t -> int
+(** Number of memoized estimates (observability for benchmarks). *)

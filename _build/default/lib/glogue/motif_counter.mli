@@ -1,0 +1,38 @@
+(** Exact homomorphism counting of small patterns in a data graph.
+
+    Used to (a) populate the GLogue statistics store with motif frequencies
+    (paper §4, "Metadata Provider"), and (b) serve as a ground-truth oracle in
+    tests for the cardinality estimator.
+
+    Counts follow the paper's homomorphism semantics (Remark 3.1): mappings
+    may repeat data vertices and edges. *)
+
+val count_homomorphisms : Gopt_graph.Property_graph.t -> Gopt_pattern.Pattern.t -> float
+(** Exact number of homomorphisms of the pattern in the graph, by
+    backtracking search with adjacency-guided candidate generation.
+    Supports Basic/Union/All constraints and undirected edges. Predicates are
+    ignored (frequencies are statistics over types only); raises
+    [Invalid_argument] on variable-length path edges. Exponential in pattern
+    size — intended for motifs and test fixtures. *)
+
+val wedge_counts :
+  Gopt_graph.Property_graph.t ->
+  ((int * [ `Out | `In ] * int * int) * (int * [ `Out | `In ] * int * int) -> float -> unit) ->
+  unit
+(** Closed-form counting of all 2-edge motifs in one pass. The callback
+    receives, for every unordered pair of incident-edge classes
+    [(center_vtype, dir, etype, far_vtype)] sharing a center vertex, the
+    total homomorphism count [sum over centers of deg_a * deg_b]. Both
+    entries share the same center vtype. *)
+
+val triangle_count :
+  Gopt_graph.Property_graph.t ->
+  ab:int * bool ->
+  bc:int * bool ->
+  ac:int * bool ->
+  ta:int -> tb:int -> tc:int ->
+  float
+(** Exact count of the typed triangle on vertices [a, b, c]: each edge is
+    [(etype, forward)] where [forward] means the edge is directed with the
+    lexicographically-first vertex as source (e.g. [ab = (et, false)] is
+    b -> a). Counted by edge iteration plus sorted-neighbour intersection. *)

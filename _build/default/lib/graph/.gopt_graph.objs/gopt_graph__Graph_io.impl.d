@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Array Buffer Fun List Printf Property_graph Schema String Value

@@ -1,0 +1,1 @@
+lib/graph/property_graph.ml: Array Format Gopt_util Hashtbl Int List Option Printf Schema Value

@@ -1,0 +1,1 @@
+lib/graph/property_graph.mli: Format Schema Value

@@ -1,0 +1,1 @@
+lib/graph/schema.ml: Array Format Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/graph/schema_discovery.ml: Array List Property_graph Schema

@@ -1,0 +1,1 @@
+lib/graph/schema_discovery.mli: Property_graph Schema

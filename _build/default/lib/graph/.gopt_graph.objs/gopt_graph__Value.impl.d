@@ -1,0 +1,1 @@
+lib/graph/value.ml: Bool Float Format Hashtbl Int String

@@ -1,0 +1,215 @@
+(* Format:
+     gopt-graph v1
+     vtype <name> [<prop>:<kind> ...]
+     etype <name> [<prop>:<kind> ...]
+     triple <src> <etype> <dst>
+     v <vtype> [<prop>=<tagged-value> ...]
+     e <src-id> <dst-id> <etype> [<prop>=<tagged-value> ...]
+   Fields are tab-separated; strings are escaped (\t \n \\). Vertices are
+   written in id order so edge endpoints refer to line order. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | '\\' -> Buffer.add_char buf '\\'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | other -> Buffer.add_char buf other);
+       incr i
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let value_str = function
+  | Value.Null -> "n:"
+  | Value.Bool b -> "b:" ^ string_of_bool b
+  | Value.Int n -> "i:" ^ string_of_int n
+  | Value.Float f -> "f:" ^ Printf.sprintf "%h" f
+  | Value.Str s -> "s:" ^ escape s
+
+let value_of_str str =
+  if String.length str < 2 || str.[1] <> ':' then failwith "malformed value"
+  else begin
+    let payload = String.sub str 2 (String.length str - 2) in
+    match str.[0] with
+    | 'n' -> Value.Null
+    | 'b' -> Value.Bool (bool_of_string payload)
+    | 'i' -> Value.Int (int_of_string payload)
+    | 'f' -> Value.Float (float_of_string payload)
+    | 's' -> Value.Str (unescape payload)
+    | _ -> failwith "unknown value tag"
+  end
+
+let kind_str = function
+  | Schema.P_bool -> "bool"
+  | Schema.P_int -> "int"
+  | Schema.P_float -> "float"
+  | Schema.P_string -> "string"
+
+let kind_of_str = function
+  | "bool" -> Schema.P_bool
+  | "int" -> Schema.P_int
+  | "float" -> Schema.P_float
+  | "string" -> Schema.P_string
+  | other -> failwith (Printf.sprintf "unknown property kind %S" other)
+
+let write_graph buf g =
+  let schema = Property_graph.schema g in
+  Buffer.add_string buf "gopt-graph v1\n";
+  let decl kw name props =
+    Buffer.add_string buf kw;
+    Buffer.add_char buf '\t';
+    Buffer.add_string buf (escape name);
+    List.iter
+      (fun (p, k) ->
+        Buffer.add_char buf '\t';
+        Buffer.add_string buf (escape p ^ ":" ^ kind_str k))
+      props;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun vt -> decl "vtype" (Schema.vtype_name schema vt) (Schema.vprops schema vt))
+    (Schema.all_vtypes schema);
+  List.iter
+    (fun et -> decl "etype" (Schema.etype_name schema et) (Schema.eprops schema et))
+    (Schema.all_etypes schema);
+  Array.iter
+    (fun (s, e, d) ->
+      Buffer.add_string buf
+        (Printf.sprintf "triple\t%s\t%s\t%s\n"
+           (escape (Schema.vtype_name schema s))
+           (escape (Schema.etype_name schema e))
+           (escape (Schema.vtype_name schema d))))
+    (Schema.triples schema);
+  let emit_props decls getter id =
+    List.iter
+      (fun (key, _) ->
+        let v = getter id key in
+        if not (Value.is_null v) then
+          Buffer.add_string buf (Printf.sprintf "\t%s=%s" (escape key) (value_str v)))
+      decls
+  in
+  for v = 0 to Property_graph.n_vertices g - 1 do
+    let vt = Property_graph.vtype g v in
+    Buffer.add_string buf ("v\t" ^ escape (Schema.vtype_name schema vt));
+    emit_props (Schema.vprops schema vt) (Property_graph.vprop g) v;
+    Buffer.add_char buf '\n'
+  done;
+  for e = 0 to Property_graph.n_edges g - 1 do
+    let et = Property_graph.etype g e in
+    Buffer.add_string buf
+      (Printf.sprintf "e\t%d\t%d\t%s" (Property_graph.esrc g e) (Property_graph.edst g e)
+         (escape (Schema.etype_name schema et)));
+    emit_props (Schema.eprops schema et) (Property_graph.eprop g) e;
+    Buffer.add_char buf '\n'
+  done
+
+let to_string g =
+  let buf = Buffer.create 65536 in
+  write_graph buf g;
+  Buffer.contents buf
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+(* --- parsing --------------------------------------------------------------- *)
+
+let split_tabs line = String.split_on_char '\t' line
+
+let parse_prop_decl field =
+  match String.rindex_opt field ':' with
+  | Some i ->
+    (unescape (String.sub field 0 i), kind_of_str (String.sub field (i + 1) (String.length field - i - 1)))
+  | None -> failwith (Printf.sprintf "malformed property declaration %S" field)
+
+let parse_prop_value field =
+  match String.index_opt field '=' with
+  | Some i ->
+    ( unescape (String.sub field 0 i),
+      value_of_str (String.sub field (i + 1) (String.length field - i - 1)) )
+  | None -> failwith (Printf.sprintf "malformed property %S" field)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let lineno = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Graph_io: line %d: %s" !lineno msg) in
+  let vtypes = ref [] and etypes = ref [] and triples = ref [] in
+  let pending : (string * string list) list ref = ref [] in
+  (* first pass: declarations; collect entity lines for the second pass *)
+  List.iter
+    (fun line ->
+      incr lineno;
+      if line <> "" then begin
+        match split_tabs line with
+        | [ "gopt-graph v1" ] -> ()
+        | "vtype" :: name :: props ->
+          vtypes := (unescape name, List.map parse_prop_decl props) :: !vtypes
+        | "etype" :: name :: props ->
+          etypes := (unescape name, List.map parse_prop_decl props) :: !etypes
+        | [ "triple"; s; e; d ] -> triples := (unescape s, unescape e, unescape d) :: !triples
+        | ("v" | "e") :: _ as fields -> pending := (line, fields) :: !pending
+        | [ "" ] -> ()
+        | _ -> fail "unrecognized line"
+      end)
+    lines;
+  let schema =
+    Schema.create ~vtypes:(List.rev !vtypes) ~etypes:(List.rev !etypes)
+      ~triples:(List.rev !triples)
+  in
+  let b = Property_graph.Builder.create schema in
+  lineno := 0;
+  List.iter
+    (fun (_, fields) ->
+      incr lineno;
+      match fields with
+      | "v" :: vtype_name :: props ->
+        let vt =
+          match Schema.find_vtype schema (unescape vtype_name) with
+          | Some vt -> vt
+          | None -> fail (Printf.sprintf "unknown vertex type %S" vtype_name)
+        in
+        ignore (Property_graph.Builder.add_vertex b ~vtype:vt (List.map parse_prop_value props))
+      | "e" :: src :: dst :: etype_name :: props ->
+        let et =
+          match Schema.find_etype schema (unescape etype_name) with
+          | Some et -> et
+          | None -> fail (Printf.sprintf "unknown edge type %S" etype_name)
+        in
+        let src = int_of_string src and dst = int_of_string dst in
+        ignore
+          (Property_graph.Builder.add_edge b ~src ~dst ~etype:et (List.map parse_prop_value props))
+      | _ -> fail "unrecognized entity line")
+    (List.rev !pending);
+  Property_graph.Builder.freeze b
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let bytes = really_input_string ic n in
+      of_string bytes)

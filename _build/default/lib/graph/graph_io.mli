@@ -1,0 +1,20 @@
+(** Text serialization of property graphs.
+
+    A self-contained, line-oriented format (one entity per line, sections for
+    schema / vertices / edges) so generated datasets can be saved, shared and
+    reloaded without re-running the generator. Values are type-tagged;
+    strings are escaped. Round-tripping preserves ids, types, adjacency and
+    properties exactly. *)
+
+val save : Property_graph.t -> string -> unit
+(** [save g path] writes the graph to [path]. Raises [Sys_error] on I/O
+    failure. *)
+
+val load : string -> Property_graph.t
+(** [load path] reads a graph written by {!save}. Raises [Failure] with a
+    line number on malformed input. *)
+
+val to_string : Property_graph.t -> string
+(** In-memory serialization (used by tests). *)
+
+val of_string : string -> Property_graph.t

@@ -1,0 +1,23 @@
+let partition_triples g =
+  let schema = Property_graph.schema g in
+  Array.to_list (Schema.triples schema)
+  |> List.partition (fun (s, e, d) -> Property_graph.triple_count g ~src:s ~etype:e ~dst:d > 0)
+
+let observed g =
+  let schema = Property_graph.schema g in
+  let live, _ = partition_triples g in
+  let name (s, e, d) =
+    (Schema.vtype_name schema s, Schema.etype_name schema e, Schema.vtype_name schema d)
+  in
+  Schema.create
+    ~vtypes:
+      (List.map
+         (fun vt -> (Schema.vtype_name schema vt, Schema.vprops schema vt))
+         (Schema.all_vtypes schema))
+    ~etypes:
+      (List.map
+         (fun et -> (Schema.etype_name schema et, Schema.eprops schema et))
+         (Schema.all_etypes schema))
+    ~triples:(List.map name live)
+
+let missing_triples g = snd (partition_triples g)

@@ -1,0 +1,22 @@
+(** Schema extraction from data (paper Remark 6.1).
+
+    Schema-loose systems such as Neo4j have no authoritative connectivity
+    schema; GOpt's answer is to derive one from the data graph itself and
+    keep it updated. This module performs the extraction step: the
+    {e observed} schema of a graph contains exactly the vertex/edge types and
+    the [(src, etype, dst)] triples that actually occur.
+
+    The observed schema is always a sub-schema of the declared one (same
+    type names and ids, possibly fewer triples), so it can be handed to
+    {!Gopt_typeinf.Type_inference} for strictly tighter inference: a triple
+    that is declared but unpopulated cannot produce matches, and inference
+    against the observed schema prunes it. *)
+
+val observed : Property_graph.t -> Schema.t
+(** The schema realized by the data: declared types (ids preserved) with
+    only the triples that have at least one edge. Property declarations are
+    carried over unchanged. *)
+
+val missing_triples : Property_graph.t -> (int * int * int) list
+(** Declared [(src, etype, dst)] triples with no realizing edge — the
+    pruning opportunity that observed-schema inference exploits. *)

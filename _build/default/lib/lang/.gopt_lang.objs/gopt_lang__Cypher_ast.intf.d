@@ -1,0 +1,1 @@
+lib/lang/cypher_ast.mli: Gopt_gir Gopt_graph Gopt_pattern

@@ -1,0 +1,1 @@
+lib/lang/cypher_parser.ml: Array Cypher_ast Gopt_gir Gopt_graph Gopt_pattern Lexer List Option Printf String

@@ -1,0 +1,1 @@
+lib/lang/cypher_parser.mli: Cypher_ast Gopt_graph Gopt_pattern

@@ -1,0 +1,1 @@
+lib/lang/gremlin_parser.ml: Array Gopt_gir Gopt_graph Gopt_pattern Gopt_util Hashtbl Lexer List Option Printf String

@@ -1,0 +1,1 @@
+lib/lang/gremlin_parser.mli: Gopt_gir Gopt_graph

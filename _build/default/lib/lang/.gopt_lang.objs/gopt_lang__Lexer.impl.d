@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer Gopt_util Printf String

@@ -1,0 +1,1 @@
+lib/lang/lowering.ml: Array Cypher_ast Gopt_gir Gopt_graph Gopt_pattern Gopt_util Hashtbl List Printf

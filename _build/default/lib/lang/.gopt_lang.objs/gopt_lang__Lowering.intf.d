@@ -1,0 +1,1 @@
+lib/lang/lowering.mli: Cypher_ast Gopt_gir Gopt_graph Gopt_pattern

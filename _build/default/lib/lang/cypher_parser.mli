@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the Cypher subset.
+
+    [$name] parameters are substituted at parse time from [params]: a
+    single-value parameter becomes a constant, a multi-value parameter is
+    only legal as the right-hand side of [IN]. *)
+
+exception Parse_error of string
+
+val parse :
+  ?params:(string * Gopt_graph.Value.t list) list -> string -> Cypher_ast.query
+(** Raises {!Parse_error} (or {!Lexer.Lex_error}) on malformed input. *)
+
+val parse_expression : string -> Gopt_pattern.Expr.t
+(** Parse a standalone scalar expression (test/tooling helper). *)

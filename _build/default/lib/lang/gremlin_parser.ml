@@ -1,0 +1,485 @@
+module L = Lexer
+module Schema = Gopt_graph.Schema
+module Value = Gopt_graph.Value
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Expr = Gopt_pattern.Expr
+module Logical = Gopt_gir.Logical
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* --- generic method-chain parsing ---------------------------------------- *)
+
+type call = { fn : string; args : arg list }
+
+and arg =
+  | A_val of Value.t
+  | A_chain of call list  (** an anonymous [__....] traversal *)
+  | A_pred of string * arg list  (** [eq('a')], [within(1, 2)], ... *)
+
+type pstate = { toks : L.token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else fail "expected %s, found %s" what (L.pp_token (peek st))
+
+let ident st =
+  match peek st with
+  | L.Ident s ->
+    advance st;
+    s
+  | t -> fail "expected identifier, found %s" (L.pp_token t)
+
+let rec parse_chain st =
+  (* leading source: 'g' or '__' *)
+  (match peek st with
+  | L.Ident "g" -> advance st
+  | L.Underscore2 -> advance st
+  | t -> fail "traversal must start with g or __, found %s" (L.pp_token t));
+  let calls = ref [] in
+  while peek st = L.Dot do
+    advance st;
+    let fn = ident st in
+    expect st L.Lparen "(";
+    let args = ref [] in
+    if peek st <> L.Rparen then begin
+      args := [ parse_arg st ];
+      while peek st = L.Comma do
+        advance st;
+        args := parse_arg st :: !args
+      done
+    end;
+    expect st L.Rparen ")";
+    calls := { fn; args = List.rev !args } :: !calls
+  done;
+  List.rev !calls
+
+and parse_arg st =
+  match peek st with
+  | L.Str_lit s ->
+    advance st;
+    A_val (Value.Str s)
+  | L.Int_lit n ->
+    advance st;
+    A_val (Value.Int n)
+  | L.Float_lit f ->
+    advance st;
+    A_val (Value.Float f)
+  | L.Ident ("true" | "false") ->
+    let b = peek st = L.Ident "true" in
+    advance st;
+    A_val (Value.Bool b)
+  | L.Underscore2 -> A_chain (parse_chain st)
+  | L.Ident name -> begin
+    (* predicate call such as eq('a'), within(1,2), P.gt(3), Order.asc *)
+    advance st;
+    match peek st with
+    | L.Dot ->
+      (* qualified: P.gt(3), Order.asc *)
+      advance st;
+      let sub = ident st in
+      if peek st = L.Lparen then begin
+        advance st;
+        let args = ref [] in
+        if peek st <> L.Rparen then begin
+          args := [ parse_arg st ];
+          while peek st = L.Comma do
+            advance st;
+            args := parse_arg st :: !args
+          done
+        end;
+        expect st L.Rparen ")";
+        A_pred (sub, List.rev !args)
+      end
+      else A_pred (sub, [])
+    | L.Lparen ->
+      advance st;
+      let args = ref [] in
+      if peek st <> L.Rparen then begin
+        args := [ parse_arg st ];
+        while peek st = L.Comma do
+          advance st;
+          args := parse_arg st :: !args
+        done
+      end;
+      expect st L.Rparen ")";
+      A_pred (name, List.rev !args)
+    | _ -> A_pred (name, [])
+  end
+  | t -> fail "unexpected argument token %s" (L.pp_token t)
+
+(* --- pattern construction state ------------------------------------------ *)
+
+type pvertex = {
+  mutable alias : string;
+  mutable con : Tc.t;
+  mutable pred : Expr.t option;
+  mutable merged_into : int option;
+}
+
+type pedge = {
+  pe_alias : string;
+  mutable pe_src : int;
+  mutable pe_dst : int;
+  pe_con : Tc.t;
+  pe_directed : bool;
+  pe_flip : bool;  (** [in()]: traversal goes against the stored direction *)
+  pe_hops : (int * int) option;
+}
+
+type builder = {
+  schema : Schema.t;
+  mutable counter : int;
+  verts : pvertex Gopt_util.Vec.t;
+  edges : pedge Gopt_util.Vec.t;
+  mutable cur : int;
+}
+
+let fresh b prefix =
+  b.counter <- b.counter + 1;
+  Printf.sprintf "@%s%d" prefix b.counter
+
+let rec resolve b i =
+  match (Gopt_util.Vec.get b.verts i).merged_into with
+  | Some j -> resolve b j
+  | None -> i
+
+let new_vertex b =
+  let i = Gopt_util.Vec.length b.verts in
+  Gopt_util.Vec.push b.verts
+    { alias = fresh b "v"; con = Tc.All; pred = None; merged_into = None };
+  i
+
+let cur_vertex b = Gopt_util.Vec.get b.verts (resolve b b.cur)
+
+let vertex_by_alias b a =
+  let found = ref None in
+  Gopt_util.Vec.iteri
+    (fun i v -> if v.merged_into = None && v.alias = a then found := Some i)
+    b.verts;
+  !found
+
+let str_arg = function
+  | A_val (Value.Str s) -> s
+  | _ -> fail "expected a string argument"
+
+let strs args = List.map str_arg args
+
+let resolve_vcon b labels =
+  let ids =
+    List.map
+      (fun l ->
+        match Schema.find_vtype b.schema l with
+        | Some i -> i
+        | None -> fail "unknown vertex label %S" l)
+      labels
+  in
+  match Tc.of_list ~universe:(Schema.n_vtypes b.schema) ids with
+  | Some c -> c
+  | None -> fail "empty label set"
+
+let resolve_econ b labels =
+  if labels = [] then Tc.All
+  else begin
+    let ids =
+      List.map
+        (fun l ->
+          match Schema.find_etype b.schema l with
+          | Some i -> i
+          | None -> fail "unknown edge label %S" l)
+        labels
+    in
+    match Tc.of_list ~universe:(Schema.n_etypes b.schema) ids with
+    | Some c -> c
+    | None -> fail "empty edge label set"
+  end
+
+let conj_opt a b = match a, b with None, x | x, None -> x | Some p, Some q -> Some (Expr.Binop (Expr.And, p, q))
+
+let constrain_cur b labels =
+  let v = cur_vertex b in
+  let con = resolve_vcon b labels in
+  match Tc.inter ~universe:(Schema.n_vtypes b.schema) v.con con with
+  | Some c -> v.con <- c
+  | None -> fail "contradictory labels on %s" v.alias
+
+let add_has b key pred_arg =
+  let v = cur_vertex b in
+  let prop = Expr.Prop (v.alias, key) in
+  let p =
+    match pred_arg with
+    | A_val value -> Expr.Binop (Expr.Eq, prop, Expr.Const value)
+    | A_pred ("eq", [ A_val value ]) -> Expr.Binop (Expr.Eq, prop, Expr.Const value)
+    | A_pred ("neq", [ A_val value ]) -> Expr.Binop (Expr.Neq, prop, Expr.Const value)
+    | A_pred ("gt", [ A_val value ]) -> Expr.Binop (Expr.Gt, prop, Expr.Const value)
+    | A_pred ("lt", [ A_val value ]) -> Expr.Binop (Expr.Lt, prop, Expr.Const value)
+    | A_pred ("gte", [ A_val value ]) -> Expr.Binop (Expr.Geq, prop, Expr.Const value)
+    | A_pred ("lte", [ A_val value ]) -> Expr.Binop (Expr.Leq, prop, Expr.Const value)
+    | A_pred ("within", vs) ->
+      Expr.In_list (prop, List.map (function A_val v -> v | _ -> fail "within expects literals") vs)
+    | _ -> fail "unsupported has() predicate"
+  in
+  v.pred <- conj_opt v.pred (Some p)
+
+let add_edge b dir labels hops =
+  let con = resolve_econ b labels in
+  let nv = new_vertex b in
+  let cur = resolve b b.cur in
+  let directed, flip, src, dst =
+    match dir with
+    | `Out -> (true, false, cur, nv)
+    | `In -> (true, true, nv, cur)
+    | `Both -> (false, false, cur, nv)
+  in
+  Gopt_util.Vec.push b.edges
+    {
+      pe_alias = fresh b "e";
+      pe_src = src;
+      pe_dst = dst;
+      pe_con = con;
+      pe_directed = directed;
+      pe_flip = flip;
+      pe_hops = hops;
+    };
+  b.cur <- nv
+
+let unify b target_alias =
+  match vertex_by_alias b target_alias with
+  | None -> fail "where(eq(%S)): unknown tag" target_alias
+  | Some target ->
+    let cur = resolve b b.cur in
+    if cur <> target then begin
+      let cv = Gopt_util.Vec.get b.verts cur in
+      let tv = Gopt_util.Vec.get b.verts target in
+      (match Tc.inter ~universe:(Schema.n_vtypes b.schema) cv.con tv.con with
+      | Some c -> tv.con <- c
+      | None -> fail "contradictory labels when unifying %s with %s" cv.alias tv.alias);
+      tv.pred <-
+        conj_opt tv.pred
+          (Option.map
+             (Expr.rename_tags (fun t -> if t = cv.alias then tv.alias else t))
+             cv.pred);
+      cv.merged_into <- Some target;
+      b.cur <- target
+    end
+
+let finalize b =
+  let live = ref [] in
+  Gopt_util.Vec.iteri (fun i v -> if v.merged_into = None then live := i :: !live) b.verts;
+  let live = List.rev !live in
+  let remap = Hashtbl.create 16 in
+  List.iteri (fun new_i old_i -> Hashtbl.add remap old_i new_i) live;
+  let vs =
+    Array.of_list
+      (List.map
+         (fun i ->
+           let v = Gopt_util.Vec.get b.verts i in
+           Pattern.mk_vertex ?pred:v.pred ~alias:v.alias v.con)
+         live)
+  in
+  let es =
+    Array.of_list
+      (List.map
+         (fun (e : pedge) ->
+           let src = Hashtbl.find remap (resolve b e.pe_src) in
+           let dst = Hashtbl.find remap (resolve b e.pe_dst) in
+           Pattern.mk_edge ~directed:e.pe_directed ?hops:e.pe_hops
+             ~path:(if e.pe_hops = None then Pattern.Arbitrary else Pattern.Trail)
+             ~alias:e.pe_alias ~src ~dst e.pe_con)
+         (Gopt_util.Vec.to_list b.edges))
+  in
+  Pattern.create vs es
+
+let clone_builder b =
+  let verts = Gopt_util.Vec.create () in
+  Gopt_util.Vec.iter
+    (fun v -> Gopt_util.Vec.push verts { v with alias = v.alias })
+    b.verts;
+  let edges = Gopt_util.Vec.create () in
+  Gopt_util.Vec.iter (fun (e : pedge) -> Gopt_util.Vec.push edges { e with pe_src = e.pe_src }) b.edges;
+  { schema = b.schema; counter = b.counter; verts; edges; cur = b.cur }
+
+(* --- lowering -------------------------------------------------------------- *)
+
+let hops_of_times calls =
+  (* repeat(__.out('X')).times(k) *)
+  match calls with
+  | [ { fn = "out" | "in" | "both"; _ } ] -> ()
+  | _ -> fail "repeat() supports a single out/in/both step"
+
+let apply_pattern_call b (c : call) =
+  match c.fn, c.args with
+  | "V", [] -> b.cur <- new_vertex b
+  | "hasLabel", args -> constrain_cur b (strs args)
+  | "has", [ A_val (Value.Str key); arg ] -> add_has b key arg
+  | "out", args -> add_edge b `Out (strs args) None
+  | ("in" | "in_"), args -> add_edge b `In (strs args) None
+  | "both", args -> add_edge b `Both (strs args) None
+  | "as", [ A_val (Value.Str a) ] -> (cur_vertex b).alias <- a
+  | "select", [ A_val (Value.Str a) ] -> begin
+    (* mid-pattern select: jump the traverser back to a tagged vertex *)
+    match vertex_by_alias b a with
+    | Some i -> b.cur <- i
+    | None -> fail "select(%S): unknown tag" a
+  end
+  | "where", [ A_pred ("eq", [ A_val (Value.Str tag) ]) ] -> unify b tag
+  | "where", [ A_pred ("neq", [ A_val (Value.Str tag) ]) ] ->
+    let v = cur_vertex b in
+    v.pred <- conj_opt v.pred (Some (Expr.Binop (Expr.Neq, Expr.Var v.alias, Expr.Var tag)))
+  | "repeat", [ A_chain sub ] -> begin
+    hops_of_times sub;
+    match sub with
+    | [ { fn; args } ] ->
+      let dir = match fn with "out" -> `Out | "in" | "in_" -> `In | _ -> `Both in
+      (* times(k) must follow; recorded by the caller *)
+      add_edge b dir (strs args) (Some (1, 1))
+    | _ -> assert false
+  end
+  | "times", [ A_val (Value.Int k) ] -> begin
+    (* fix up the hops of the edge just added by repeat() *)
+    let n = Gopt_util.Vec.length b.edges in
+    if n = 0 then fail "times() without repeat()";
+    let e = Gopt_util.Vec.get b.edges (n - 1) in
+    match e.pe_hops with
+    | Some (1, 1) ->
+      Gopt_util.Vec.set b.edges (n - 1)
+        { e with pe_hops = (if k = 1 then None else Some (k, k)) }
+    | _ -> fail "times() without repeat()"
+  end
+  | fn, _ -> fail "unsupported pattern step %s()" fn
+
+let is_pattern_step c =
+  match c.fn with
+  | "V" | "hasLabel" | "has" | "out" | "in" | "in_" | "both" | "as" | "where" | "repeat"
+  | "times" -> true
+  | _ -> false
+
+let parse schema src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let calls = parse_chain st in
+  if peek st <> L.Eof then fail "trailing input: %s" (L.pp_token (peek st));
+  let b = { schema; counter = 0; verts = Gopt_util.Vec.create (); edges = Gopt_util.Vec.create (); cur = -1 } in
+  (* split pattern prefix from relational suffix; a single-tag select() is a
+     pattern jump only when followed by another pattern step *)
+  let rec split acc = function
+    | c :: rest when is_pattern_step c -> split (c :: acc) rest
+    | ({ fn = "select"; args = [ A_val (Value.Str _) ] } as c) :: (next :: _ as rest)
+      when is_pattern_step next ->
+      split (c :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let pattern_calls, suffix = split [] calls in
+  if pattern_calls = [] then fail "traversal must start with V()";
+  List.iter (apply_pattern_call b) pattern_calls;
+  (* union over pattern branches? *)
+  let plan, cur_field =
+    match suffix with
+    | { fn = "union"; args } :: _ ->
+      let branches =
+        List.map
+          (function
+            | A_chain sub ->
+              let b' = clone_builder b in
+              List.iter
+                (fun c ->
+                  if is_pattern_step c && c.fn <> "V" then apply_pattern_call b' c
+                  else fail "union branches support pattern steps only")
+                sub;
+              b'
+            | _ -> fail "union expects anonymous traversals")
+          args
+      in
+      (match branches with
+      | [] | [ _ ] -> fail "union needs at least two branches"
+      | first :: rest ->
+        (* common projection: named tags present in every branch, plus the
+           branch endpoint as @union *)
+        let named b' =
+          let acc = ref [] in
+          Gopt_util.Vec.iter
+            (fun v ->
+              if v.merged_into = None && String.length v.alias > 0 && v.alias.[0] <> '@' then
+                acc := v.alias :: !acc)
+            b'.verts;
+          List.rev !acc
+        in
+        let common =
+          List.fold_left
+            (fun acc b' -> List.filter (fun a -> List.mem a (named b')) acc)
+            (named first) rest
+        in
+        let branch_plan b' =
+          let endp = (cur_vertex b').alias in
+          let p = finalize b' in
+          Logical.Project
+            ( Logical.Match p,
+              List.map (fun a -> (Expr.Var a, a)) common @ [ (Expr.Var endp, "@union") ] )
+        in
+        let plans = List.map branch_plan branches in
+        ( List.fold_left (fun acc p -> Logical.Union (acc, p)) (List.hd plans) (List.tl plans),
+          "@union" ))
+    | _ ->
+      let endp = (cur_vertex b).alias in
+      (Logical.Match (finalize b), endp)
+  in
+  let suffix = match suffix with { fn = "union"; _ } :: rest -> rest | s -> s in
+  (* relational tail *)
+  let apply plan (c : call) =
+    match c.fn, c.args with
+    | "count", [] ->
+      Logical.Group (plan, [], [ { Logical.agg_fn = Logical.Count; agg_arg = None; agg_alias = "count" } ])
+    | "values", [ A_val (Value.Str key) ] ->
+      Logical.Project (plan, [ (Expr.Prop (cur_field, key), Printf.sprintf "values(%s)" key) ])
+    | "select", args ->
+      let tags = strs args in
+      Logical.Project (plan, List.map (fun t -> (Expr.Var t, t)) tags)
+    | "by", [ A_val (Value.Str key) ] -> begin
+      (* modulate the previous select/order/group: replace a tag key with a
+         property access on it *)
+      match plan with
+      | Logical.Project (inner, [ (Expr.Var t, a) ]) ->
+        Logical.Project (inner, [ (Expr.Prop (t, key), a) ])
+      | Logical.Order (inner, [ (Expr.Var t, dir) ], lim) ->
+        Logical.Order (inner, [ (Expr.Prop (t, key), dir) ], lim)
+      | Logical.Group (inner, [ (Expr.Var t, a) ], aggs) ->
+        Logical.Group (inner, [ (Expr.Prop (t, key), a) ], aggs)
+      | _ -> fail "by() in an unsupported position"
+    end
+    | "by", [ A_pred ("count", []) ] -> begin
+      (* group().by(key).by(count): replace the collect value with a count *)
+      match plan with
+      | Logical.Group (inner, keys, [ { Logical.agg_fn = Logical.Collect; _ } ]) ->
+        Logical.Group
+          (inner, keys, [ { Logical.agg_fn = Logical.Count; agg_arg = None; agg_alias = "value" } ])
+      | _ -> fail "by(count) in an unsupported position"
+    end
+    | "by", [ A_chain [ { fn = "count"; args = [] } ] ] -> begin
+      match plan with
+      | Logical.Group (inner, keys, [ { Logical.agg_fn = Logical.Collect; _ } ]) ->
+        Logical.Group
+          (inner, keys, [ { Logical.agg_fn = Logical.Count; agg_arg = None; agg_alias = "value" } ])
+      | _ -> fail "by(__.count()) in an unsupported position"
+    end
+    | "groupCount", [] ->
+      (* keyed by the current traverser; a following by('prop') refines it *)
+      Logical.Group
+        ( plan,
+          [ (Expr.Var cur_field, "key") ],
+          [ { Logical.agg_fn = Logical.Count; agg_arg = None; agg_alias = "count" } ] )
+    | "group", [] ->
+      Logical.Group
+        ( plan,
+          [ (Expr.Var cur_field, "key") ],
+          [ { Logical.agg_fn = Logical.Collect; agg_arg = Some (Expr.Var cur_field); agg_alias = "value" } ] )
+    | "order", [] -> Logical.Order (plan, [ (Expr.Var cur_field, Logical.Asc) ], None)
+    | "dedup", [] -> Logical.Dedup (plan, [])
+    | "dedup", args -> Logical.Dedup (plan, strs args)
+    | "limit", [ A_val (Value.Int n) ] -> Logical.Limit (plan, n)
+    | fn, _ -> fail "unsupported step %s()" fn
+  in
+  List.fold_left apply plan suffix

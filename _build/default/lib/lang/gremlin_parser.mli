@@ -1,0 +1,20 @@
+(** Gremlin frontend: parser and lowering for a traversal subset
+    (paper §5.2, Fig. 3(b)).
+
+    Supported steps: [g.V()], [hasLabel], [has] (with [eq]/[neq]/[gt]/[lt]/
+    [gte]/[lte]/[within] predicates or a literal), [out]/[in]/[both] (with
+    edge labels), [as], [where(eq('tag'))] / [where(neq('tag'))] for cycle
+    closure, [repeat(__.out(...)).times(k)] for fixed-length paths,
+    [union(__.  ..., __. ...)] over pattern branches, and the relational
+    tail steps [select] (with optional [by('prop')]), [values], [count],
+    [dedup], [order().by(...)], [limit].
+
+    Traversals lower to the same GIR as Cypher — the point of the unified
+    IR. Gremlin matching is homomorphic (traversers may revisit edges), so
+    no ALL_DISTINCT is inserted. *)
+
+exception Parse_error of string
+
+val parse : Gopt_graph.Schema.t -> string -> Gopt_gir.Logical.t
+(** Parse and lower a traversal. Raises {!Parse_error} (or
+    {!Lexer.Lex_error}) on malformed or unsupported input. *)

@@ -1,0 +1,31 @@
+(** Shared lexer for the Cypher and Gremlin frontends.
+
+    The paper uses ANTLR-generated parsers; this hand-written lexer plus the
+    recursive-descent parsers in {!Cypher_parser} and {!Gremlin_parser} play
+    that role. Tokens cover both languages (Cypher's ASCII-art arrows,
+    Gremlin's dotted method chains). *)
+
+type token =
+  | Ident of string  (** Identifier or keyword, original case preserved. *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string  (** Single- or double-quoted. *)
+  | Lparen | Rparen
+  | Lbracket | Rbracket
+  | Lbrace | Rbrace
+  | Colon | Semi | Comma | Dot | Dotdot | Pipe | Dollar | Underscore2
+  | Dash  (** [-], both pattern dash and minus. *)
+  | Arrow_right  (** [->] *)
+  | Arrow_left  (** [<-] *)
+  | Eq | Neq | Lt | Leq | Gt | Geq
+  | Plus | Star | Slash | Percent
+  | Eof
+
+exception Lex_error of string * int
+(** Message and character offset. *)
+
+val tokenize : string -> token array
+(** Raises {!Lex_error} on malformed input. Line comments ([//]) are
+    skipped. *)
+
+val pp_token : token -> string

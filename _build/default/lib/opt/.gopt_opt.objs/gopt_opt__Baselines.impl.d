@@ -1,0 +1,1 @@
+lib/opt/baselines.ml: Array Cbo Fun Gopt_pattern Gopt_util List Physical Physical_spec Planner Rules_pattern Rules_relational

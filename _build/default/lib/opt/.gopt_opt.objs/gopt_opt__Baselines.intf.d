@@ -1,0 +1,1 @@
+lib/opt/baselines.mli: Gopt_pattern Gopt_util Physical Physical_spec Planner

@@ -1,0 +1,1 @@
+lib/opt/cbo.ml: Float Fun Gopt_gir Gopt_glogue Gopt_pattern Hashtbl List Physical Physical_spec String

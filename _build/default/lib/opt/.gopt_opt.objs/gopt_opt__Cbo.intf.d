@@ -1,0 +1,1 @@
+lib/opt/cbo.mli: Gopt_glogue Gopt_pattern Physical Physical_spec

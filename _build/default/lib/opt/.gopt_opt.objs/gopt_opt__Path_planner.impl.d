@@ -1,0 +1,1 @@
+lib/opt/path_planner.ml: Array Cbo Gopt_pattern List Physical Printf

@@ -1,0 +1,1 @@
+lib/opt/path_planner.mli: Cbo Gopt_glogue Gopt_pattern Physical Physical_spec

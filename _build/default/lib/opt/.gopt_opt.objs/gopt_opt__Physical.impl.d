@@ -1,0 +1,1 @@
+lib/opt/physical.ml: Format Gopt_gir Gopt_graph Gopt_pattern Hashtbl List Printf String

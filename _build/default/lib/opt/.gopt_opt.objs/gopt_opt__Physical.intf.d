@@ -1,0 +1,1 @@
+lib/opt/physical.mli: Format Gopt_gir Gopt_graph Gopt_pattern

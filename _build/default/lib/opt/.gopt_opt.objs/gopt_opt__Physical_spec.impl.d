@@ -1,0 +1,1 @@
+lib/opt/physical_spec.ml: Array Float Gopt_glogue Gopt_pattern List

@@ -1,0 +1,1 @@
+lib/opt/physical_spec.mli: Gopt_glogue Gopt_pattern

@@ -1,0 +1,1 @@
+lib/opt/plan_codec.ml: Buffer Gopt_gir Gopt_graph Gopt_pattern List Physical Printf String

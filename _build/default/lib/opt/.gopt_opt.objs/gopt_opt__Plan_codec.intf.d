@@ -1,0 +1,1 @@
+lib/opt/plan_codec.mli: Physical

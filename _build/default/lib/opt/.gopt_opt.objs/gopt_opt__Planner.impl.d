@@ -1,0 +1,1 @@
+lib/opt/planner.ml: Array Cbo Float Fun Gopt_gir Gopt_glogue Gopt_graph Gopt_pattern Gopt_typeinf List Physical Physical_spec Rule Rules_pattern Rules_relational Set String

@@ -1,0 +1,1 @@
+lib/opt/planner.mli: Cbo Gopt_gir Gopt_glogue Gopt_graph Gopt_pattern Physical Physical_spec Rule

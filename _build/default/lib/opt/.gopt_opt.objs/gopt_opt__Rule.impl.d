@@ -1,0 +1,1 @@
+lib/opt/rule.ml: Gopt_gir List Option

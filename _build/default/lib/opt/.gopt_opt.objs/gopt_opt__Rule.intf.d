@@ -1,0 +1,1 @@
+lib/opt/rule.mli: Gopt_gir

@@ -1,0 +1,1 @@
+lib/opt/rules_pattern.ml: Array Gopt_gir Gopt_pattern Hashtbl List Option Rule Set String

@@ -1,0 +1,1 @@
+lib/opt/rules_pattern.mli: Gopt_gir Rule

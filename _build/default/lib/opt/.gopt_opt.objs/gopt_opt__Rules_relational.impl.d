@@ -1,0 +1,1 @@
+lib/opt/rules_relational.ml: Gopt_gir Gopt_graph Gopt_pattern List Option Printf Rule Set String

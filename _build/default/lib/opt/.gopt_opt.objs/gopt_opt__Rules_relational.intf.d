@@ -1,0 +1,1 @@
+lib/opt/rules_relational.mli: Rule

@@ -1,0 +1,88 @@
+module Pattern = Gopt_pattern.Pattern
+
+let cypher_planner_config =
+  {
+    Planner.spec = Physical_spec.neo4j;
+    enable_rbo = true;
+    rules =
+      [
+        Rules_relational.constant_fold;
+        Rules_relational.select_merge;
+        Rules_relational.select_pushdown;
+        Rules_relational.project_merge;
+        Rules_relational.limit_pushdown;
+        Rules_pattern.filter_into_pattern;
+      ];
+    enable_field_trim = false;
+    enable_type_inference = false;
+    inference_schema = None;
+    enable_cbo = true;
+    cbo_options =
+      { Cbo.default_options with max_join_edges = 0 (* expansions only *); greedy_only = true };
+  }
+
+let gs_rbo_config =
+  {
+    Planner.spec = Physical_spec.graphscope;
+    enable_rbo = true;
+    rules =
+      [
+        Rules_relational.constant_fold;
+        Rules_relational.select_merge;
+        Rules_relational.limit_pushdown;
+        Rules_pattern.join_to_pattern;
+      ];
+    enable_field_trim = false;
+    enable_type_inference = false;
+    inference_schema = None;
+    enable_cbo = false;
+    cbo_options = Cbo.default_options;
+  }
+
+let gopt_config spec = Planner.default_config ~spec ()
+
+let gopt_neo_cost_config =
+  let spec =
+    (* GraphScope operators, Neo4j (flattening) expansion costs: the
+       mismatched cost model of Fig. 8(c)'s GOpt-Neo-Plan *)
+    Physical_spec.make ~name:"graphscope-neo-cost" ~use_intersect:true ~comm_factor:0.0
+      ~expand_cost:Physical_spec.neo4j.Physical_spec.expand_cost
+      ~join_cost:Physical_spec.neo4j.Physical_spec.join_cost ()
+  in
+  Planner.default_config ~spec ()
+
+let random_plan rng spec p =
+  let nv = Pattern.n_vertices p in
+  if nv = 0 || not (Pattern.is_connected p) then
+    invalid_arg "Baselines.random_plan: need a connected pattern";
+  let bound = Array.make nv false in
+  let alias i = (Pattern.vertex p i).Pattern.v_alias in
+  let start = Gopt_util.Prng.int rng nv in
+  bound.(start) <- true;
+  let v0 = Pattern.vertex p start in
+  let plan =
+    ref
+      (Physical.Scan { alias = v0.Pattern.v_alias; con = v0.Pattern.v_con; pred = v0.Pattern.v_pred })
+  in
+  let order = ref [ alias start ] in
+  for _ = 2 to nv do
+    let frontier =
+      List.filter
+        (fun v ->
+          (not bound.(v)) && List.exists (fun (_, u) -> bound.(u)) (Pattern.neighbors p v))
+        (List.init nv Fun.id)
+    in
+    let v = Gopt_util.Prng.choice rng (Array.of_list frontier) in
+    let edges =
+      List.filter
+        (fun ei ->
+          let e = Pattern.edge p ei in
+          let other = if e.Pattern.e_src = v then e.Pattern.e_dst else e.Pattern.e_src in
+          bound.(other))
+        (Pattern.incident_edges p v)
+    in
+    plan := Cbo.compile_expansion spec !plan p ~new_vertex_alias:(alias v) (List.map (Pattern.edge p) edges);
+    bound.(v) <- true;
+    order := alias v :: !order
+  done;
+  (!plan, List.rev !order)

@@ -1,0 +1,42 @@
+(** Baseline planners the paper compares against (§8).
+
+    These reproduce the {e optimizer behaviours} of the compared systems —
+    the plans they would emit — while executing on the same engines, exactly
+    as the paper runs "Neo4j-plan" and "GS-plan" on both backends:
+
+    - {!cypher_planner_config}: Neo4j's CypherPlanner. Cost-based, but:
+      expansions only (no hybrid binary-join candidates for patterns — the
+      paper's IC6 analysis), flattening ExpandInto (no worst-case-optimal
+      intersection), no type inference, and none of GOpt's pattern-aware
+      heuristics beyond predicate pushdown. Meant to be paired with a
+      low-order {!Gopt_glogue.Glogue_query.t} (no high-order statistics,
+      Table 1).
+
+    - {!gs_rbo_config}: GraphScope's native TraversalStrategy optimizer.
+      Rule-based only: patterns execute in the user-specified order; it does
+      fuse joined patterns (JoinToPattern is native, §8.2) and uses
+      ExpandIntersect for closing edges, but has no CBO, no
+      FilterIntoPattern/FieldTrim/ComSubPattern, no type inference.
+
+    - {!gopt_config}: GOpt with everything enabled for a given backend spec.
+
+    - {!random_plan}: a random valid left-deep expansion order — the red
+      circles of Fig. 8(c).
+
+    - {!gopt_neo_cost_config}: GOpt but deliberately costing expansions with
+      Neo4j's flattening model while emitting GraphScope operators — the
+      "GOpt-Neo-Plan" of Fig. 8(c), demonstrating why backend-specific cost
+      registration matters. *)
+
+val cypher_planner_config : Planner.config
+val gs_rbo_config : Planner.config
+val gopt_config : Physical_spec.t -> Planner.config
+val gopt_neo_cost_config : Planner.config
+
+val random_plan :
+  Gopt_util.Prng.t ->
+  Physical_spec.t ->
+  Gopt_pattern.Pattern.t ->
+  Physical.t * string list
+(** A uniformly random valid binding order for the pattern; returns the
+    physical plan and the vertex order (for reporting). *)

@@ -1,0 +1,89 @@
+(** Cost-based optimization of patterns — the top-down search framework with
+    branch-and-bound (paper §6.3.3, Algorithm 2).
+
+    The search space is the set of PatternJoin decompositions of the query
+    pattern (paper Eq. 3): a pattern is produced either by {e expanding} a
+    new vertex onto a subpattern (one or more edges, compiled to
+    ExpandAll/ExpandInto or ExpandIntersect depending on the
+    {!Physical_spec.t}) or by {e hash-joining} two edge-disjoint connected
+    subpatterns on their shared vertices. Costs combine the
+    backend-registered operator costs with GLogueQuery cardinalities,
+    accumulating intermediate-result sizes per Algorithm 2 line 11/15.
+
+    A greedy descent provides the initial upper bound (GreedyInitial); the
+    exhaustive recursion memoizes optimal subplans per canonical subpattern
+    code and prunes candidates whose lower bound exceeds the best known cost.
+    Both the greedy initialization and the pruning can be disabled for the
+    ablation experiments. *)
+
+type op =
+  | Scan  (** The plan's pattern is a single vertex: scan it. *)
+  | Expand of {
+      sub : plan;
+      new_vertex_alias : string;
+      edges : Gopt_pattern.Pattern.edge list;
+          (** Edges binding the new vertex, endpoints indexed in the plan's
+              own pattern, ordered cheapest-first. *)
+    }
+  | Join of { left : plan; right : plan; keys : string list }
+
+and plan = {
+  pattern : Gopt_pattern.Pattern.t;
+  op : op;
+  cost : float;  (** Accumulated estimated cost (Algorithm 2). *)
+  freq : float;  (** Estimated cardinality of the pattern. *)
+}
+
+type options = {
+  use_greedy_init : bool;  (** Default [true]; [false] for ablation A2. *)
+  use_pruning : bool;  (** Default [true]; [false] for ablation A1. *)
+  max_join_edges : int;
+      (** Join candidates are enumerated only for patterns with at most this
+          many edges (the enumeration is exponential); default 10. *)
+  greedy_only : bool;
+      (** Skip the exhaustive search and return the greedy descent — models
+          planners with a bounded search budget (Neo4j's IDP-style
+          CypherPlanner baseline). Default [false]. *)
+}
+
+val default_options : options
+
+type search_stats = {
+  mutable nodes_searched : int;  (** RecursiveSearch invocations that ran. *)
+  mutable candidates_considered : int;
+  mutable candidates_pruned : int;
+  mutable memo_hits : int;
+}
+
+val optimize :
+  ?options:options ->
+  Gopt_glogue.Glogue_query.t ->
+  Physical_spec.t ->
+  Gopt_pattern.Pattern.t ->
+  plan * search_stats
+(** Optimal plan for a connected pattern. Raises [Invalid_argument] on an
+    empty or disconnected pattern. *)
+
+val greedy : Gopt_glogue.Glogue_query.t -> Physical_spec.t -> Gopt_pattern.Pattern.t -> plan
+(** The GreedyInitial descent alone (also used as a standalone baseline
+    planner). *)
+
+val to_physical : Physical_spec.t -> plan -> Physical.t
+(** Compile the decomposition to backend physical operators: single-edge
+    expansions become ExpandAll (or PathExpand), multi-edge expansions become
+    ExpandIntersect when the spec supports it and ExpandAll+ExpandInto
+    otherwise, joins become HashJoin. *)
+
+val compile_expansion :
+  Physical_spec.t ->
+  Physical.t ->
+  Gopt_pattern.Pattern.t ->
+  new_vertex_alias:string ->
+  Gopt_pattern.Pattern.edge list ->
+  Physical.t
+(** Compile one vertex-binding step onto an existing physical input — shared
+    with the user-order and continuation planners in {!Planner}. *)
+
+val plan_order : plan -> string list
+(** The vertex aliases in binding order (observability: experiments report
+    e.g. the S-T join split positions). *)

@@ -1,0 +1,64 @@
+module Pattern = Gopt_pattern.Pattern
+
+type result = {
+  phys : Physical.t;
+  split : (int * int) option;
+  cost : float;
+  alternatives : ((int * int) option * float) list;
+}
+
+let first_exact_path_edge p =
+  let found = ref None in
+  Array.iteri
+    (fun i (e : Pattern.edge) ->
+      if !found = None then
+        match e.Pattern.e_hops with
+        | Some (lo, hi) when lo = hi && lo >= 2 -> found := Some (i, lo)
+        | _ -> ())
+    (Pattern.edges p);
+  !found
+
+let plan_variant ?options gq spec pat =
+  let cplan, _ = Cbo.optimize ?options gq spec pat in
+  (Cbo.to_physical spec cplan, cplan.Cbo.cost)
+
+let forced_split gq spec p ~at =
+  match first_exact_path_edge p with
+  | None -> invalid_arg "Path_planner.forced_split: no exact-length path edge"
+  | Some (eid, k) ->
+    if at = 0 then plan_variant gq spec p
+    else begin
+      if at < 1 || at >= k then invalid_arg "Path_planner.forced_split: position out of range";
+      let split = Pattern.split_path_edge p ~eid ~at ~mid_alias:(Printf.sprintf "@mid%d" at) in
+      plan_variant gq spec split
+    end
+
+let optimize ?options gq spec p =
+  match first_exact_path_edge p with
+  | None ->
+    let phys, cost = plan_variant ?options gq spec p in
+    { phys; split = None; cost; alternatives = [ (None, cost) ] }
+  | Some (eid, k) ->
+    let unsplit = plan_variant ?options gq spec p in
+    let variants =
+      List.map
+        (fun at ->
+          let split =
+            Pattern.split_path_edge p ~eid ~at ~mid_alias:(Printf.sprintf "@mid%d" at)
+          in
+          let phys, cost = plan_variant ?options gq spec split in
+          (Some (at, k - at), (phys, cost)))
+        (List.init (k - 1) (fun i -> i + 1))
+    in
+    let all = (None, unsplit) :: variants in
+    let best_split, (best_phys, best_cost) =
+      List.fold_left
+        (fun (bs, (bp, bc)) (s, (p', c)) -> if c < bc then (s, (p', c)) else (bs, (bp, bc)))
+        (List.hd all) (List.tl all)
+    in
+    {
+      phys = best_phys;
+      split = best_split;
+      cost = best_cost;
+      alternatives = List.map (fun (s, (_, c)) -> (s, c)) all;
+    }

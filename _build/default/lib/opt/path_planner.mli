@@ -1,0 +1,39 @@
+(** Bidirectional S-T path planning (the paper's §8.5 case study).
+
+    For a pattern containing a fixed-length path edge [s -[*k]-> t], the
+    planner considers, besides the unsplit plan (single-direction
+    expansion), every split position [i]: replace the path with
+    [s -[*i]-> m -[*k-i]-> t] and let the CBO decide how to bind [m] —
+    typically a hash join of an [i]-hop forward expansion from [s] and a
+    [(k-i)]-hop backward expansion from [t]. The cheapest variant wins; with
+    asymmetric endpoint selectivities ("scan cost = the number of vertices
+    in the source sets") the optimal join position is not necessarily the
+    middle — the paper's observation. *)
+
+type result = {
+  phys : Physical.t;
+  split : (int * int) option;
+      (** [(i, k - i)] when a split plan won, [None] for single-direction. *)
+  cost : float;  (** Estimated cost of the winning plan. *)
+  alternatives : ((int * int) option * float) list;
+      (** All evaluated variants with their estimated costs. *)
+}
+
+val optimize :
+  ?options:Cbo.options ->
+  Gopt_glogue.Glogue_query.t ->
+  Physical_spec.t ->
+  Gopt_pattern.Pattern.t ->
+  result
+(** Optimize a pattern, additionally exploring split positions of its first
+    exact-length path edge (if any). Falls back to plain {!Cbo.optimize}
+    when the pattern has no such edge. *)
+
+val forced_split :
+  Gopt_glogue.Glogue_query.t ->
+  Physical_spec.t ->
+  Gopt_pattern.Pattern.t ->
+  at:int ->
+  Physical.t * float
+(** Plan with a specific split position (used to generate the "alternative"
+    bars of Fig. 11). [at = 0] means unsplit. *)

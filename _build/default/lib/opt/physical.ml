@@ -1,0 +1,200 @@
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Expr = Gopt_pattern.Expr
+module Logical = Gopt_gir.Logical
+
+type edge_step = {
+  s_edge : Pattern.edge;
+  s_from : string;
+  s_to : string;
+  s_forward : bool;
+  s_to_con : Tc.t;
+  s_to_pred : Expr.t option;
+}
+
+type t =
+  | Scan of { alias : string; con : Tc.t; pred : Expr.t option }
+  | Expand_all of t * edge_step
+  | Expand_into of t * edge_step
+  | Expand_intersect of t * edge_step list
+  | Path_expand of t * edge_step
+  | Hash_join of { left : t; right : t; keys : string list; kind : Logical.join_kind }
+  | Select of t * Expr.t
+  | Project of t * (Expr.t * string) list
+  | Group of t * (Expr.t * string) list * Logical.agg list
+  | Order of t * (Expr.t * Logical.sort_dir) list * int option
+  | Limit of t * int
+  | Skip of t * int
+  | Unfold of t * Expr.t * string
+  | Dedup of t * string list
+  | Union of t * t
+  | All_distinct of t * string list
+  | With_common of { common : t; left : t; right : t; combine : Logical.combine }
+  | Common_ref of string list
+  | Empty of string list
+
+let dedup_keep_order l =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    l
+
+let rec output_fields = function
+  | Scan { alias; _ } -> [ alias ]
+  | Expand_all (x, s) ->
+    dedup_keep_order (output_fields x @ [ s.s_edge.Pattern.e_alias; s.s_to ])
+  | Expand_into (x, s) -> dedup_keep_order (output_fields x @ [ s.s_edge.Pattern.e_alias ])
+  | Expand_intersect (x, steps) ->
+    dedup_keep_order
+      (output_fields x
+      @ List.concat_map (fun s -> [ s.s_edge.Pattern.e_alias ]) steps
+      @ match steps with [] -> [] | s :: _ -> [ s.s_to ])
+  | Path_expand (x, s) ->
+    dedup_keep_order (output_fields x @ [ s.s_edge.Pattern.e_alias; s.s_to ])
+  | Hash_join { left; right; kind; _ } -> begin
+    match kind with
+    | Logical.Semi | Logical.Anti -> output_fields left
+    | Logical.Inner | Logical.Left_outer ->
+      dedup_keep_order (output_fields left @ output_fields right)
+  end
+  | Select (x, _) | Limit (x, _) | Skip (x, _) | Dedup (x, _) | All_distinct (x, _)
+  | Order (x, _, _) ->
+    output_fields x
+  | Unfold (x, _, alias) -> dedup_keep_order (output_fields x @ [ alias ])
+  | Project (_, ps) -> List.map snd ps
+  | Group (_, ks, aggs) -> List.map snd ks @ List.map (fun a -> a.Logical.agg_alias) aggs
+  | Union (a, _) -> output_fields a
+  | With_common { left; right; combine; _ } -> begin
+    match combine with
+    | Logical.C_union -> output_fields left
+    | Logical.C_join (_, (Logical.Semi | Logical.Anti)) -> output_fields left
+    | Logical.C_join (_, _) -> dedup_keep_order (output_fields left @ output_fields right)
+  end
+  | Common_ref fields -> fields
+  | Empty fields -> fields
+
+let rec operator_count = function
+  | Scan _ | Common_ref _ | Empty _ -> 1
+  | Expand_all (x, _) | Expand_into (x, _) | Expand_intersect (x, _) | Path_expand (x, _)
+  | Select (x, _) | Project (x, _) | Group (x, _, _) | Order (x, _, _) | Limit (x, _)
+  | Skip (x, _) | Unfold (x, _, _) | Dedup (x, _) | All_distinct (x, _) -> 1 + operator_count x
+  | Hash_join { left; right; _ } | Union (left, right) ->
+    1 + operator_count left + operator_count right
+  | With_common { common; left; right; _ } ->
+    1 + operator_count common + operator_count left + operator_count right
+
+let rec uses_intersect = function
+  | Expand_intersect _ -> true
+  | Scan _ | Common_ref _ | Empty _ -> false
+  | Expand_all (x, _) | Expand_into (x, _) | Path_expand (x, _) | Select (x, _)
+  | Project (x, _) | Group (x, _, _) | Order (x, _, _) | Limit (x, _) | Skip (x, _)
+  | Unfold (x, _, _) | Dedup (x, _) | All_distinct (x, _) -> uses_intersect x
+  | Hash_join { left; right; _ } | Union (left, right) ->
+    uses_intersect left || uses_intersect right
+  | With_common { common; left; right; _ } ->
+    uses_intersect common || uses_intersect left || uses_intersect right
+
+let pp ?schema ppf plan =
+  let ename =
+    match schema with
+    | Some s -> fun i -> Gopt_graph.Schema.etype_name s i
+    | None -> string_of_int
+  in
+  let vname =
+    match schema with
+    | Some s -> fun i -> Gopt_graph.Schema.vtype_name s i
+    | None -> string_of_int
+  in
+  let step_str s =
+    let hops =
+      match s.s_edge.Pattern.e_hops with
+      | None -> ""
+      | Some (lo, hi) when lo = hi -> Printf.sprintf "*%d" lo
+      | Some (lo, hi) -> Printf.sprintf "*%d..%d" lo hi
+    in
+    Format.asprintf "%s-[%s:%a%s]%s>%s:%a" s.s_from s.s_edge.Pattern.e_alias
+      (Tc.pp ~names:ename) s.s_edge.Pattern.e_con hops
+      (if s.s_forward then "-" else "<-")
+      s.s_to (Tc.pp ~names:vname) s.s_to_con
+  in
+  let rec go indent plan =
+    let pad = String.make (2 * indent) ' ' in
+    let line fmt = Format.fprintf ppf ("%s" ^^ fmt ^^ "@,") pad in
+    match plan with
+    | Scan { alias; con; pred } ->
+      line "Scan(%s:%a)%s" alias (Tc.pp ~names:vname) con
+        (match pred with None -> "" | Some p -> " WHERE " ^ Expr.to_string p)
+    | Expand_all (x, s) ->
+      line "ExpandAll(%s)" (step_str s);
+      go (indent + 1) x
+    | Expand_into (x, s) ->
+      line "ExpandInto(%s)" (step_str s);
+      go (indent + 1) x
+    | Expand_intersect (x, steps) ->
+      line "ExpandIntersect(%s)" (String.concat " & " (List.map step_str steps));
+      go (indent + 1) x
+    | Path_expand (x, s) ->
+      line "PathExpand(%s)" (step_str s);
+      go (indent + 1) x
+    | Hash_join { left; right; keys; kind } ->
+      line "HashJoin[%s](%s)"
+        (match kind with
+        | Logical.Inner -> "INNER"
+        | Logical.Left_outer -> "LEFT"
+        | Logical.Semi -> "SEMI"
+        | Logical.Anti -> "ANTI")
+        (String.concat ", " keys);
+      go (indent + 1) left;
+      go (indent + 1) right
+    | Select (x, e) ->
+      line "Select(%s)" (Expr.to_string e);
+      go (indent + 1) x
+    | Project (x, ps) ->
+      line "Project(%s)"
+        (String.concat ", "
+           (List.map (fun (e, a) -> Printf.sprintf "%s AS %s" (Expr.to_string e) a) ps));
+      go (indent + 1) x
+    | Group (x, ks, aggs) ->
+      line "Group(keys=%d, aggs=%d)" (List.length ks) (List.length aggs);
+      go (indent + 1) x
+    | Order (x, ks, lim) ->
+      line "Order(keys=%d%s)" (List.length ks)
+        (match lim with None -> "" | Some n -> Printf.sprintf ", topk=%d" n);
+      go (indent + 1) x
+    | Limit (x, n) ->
+      line "Limit(%d)" n;
+      go (indent + 1) x
+    | Skip (x, n) ->
+      line "Skip(%d)" n;
+      go (indent + 1) x
+    | Unfold (x, e, a) ->
+      line "Unfold(%s AS %s)" (Expr.to_string e) a;
+      go (indent + 1) x
+    | Dedup (x, tags) ->
+      line "Dedup(%s)" (String.concat ", " tags);
+      go (indent + 1) x
+    | Union (a, b) ->
+      line "Union";
+      go (indent + 1) a;
+      go (indent + 1) b
+    | All_distinct (x, tags) ->
+      line "AllDistinct(%s)" (String.concat ", " tags);
+      go (indent + 1) x
+    | With_common { common; left; right; _ } ->
+      line "WithCommon";
+      go (indent + 1) common;
+      go (indent + 1) left;
+      go (indent + 1) right
+    | Common_ref _ -> line "CommonRef"
+    | Empty fields -> line "Empty(%s)" (String.concat ", " fields)
+  in
+  Format.fprintf ppf "@[<v>";
+  go 0 plan;
+  Format.fprintf ppf "@]"
+
+let to_string ?schema plan = Format.asprintf "%a" (pp ?schema) plan

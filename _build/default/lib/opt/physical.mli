@@ -1,0 +1,78 @@
+(** Physical plans (paper §5.1, Fig. 3(d)/(e)).
+
+    The physical plan fixes operator implementations and their order: how a
+    pattern is matched (scans, edge expansions, intersections, hash joins)
+    and how the relational part executes. Backends differ in which operators
+    the planner emits — e.g. a Neo4j-profile plan closes cycles with
+    [Expand_into] while a GraphScope-profile plan uses [Expand_intersect] —
+    but every operator here is executable by the engine in [gopt_exec].
+
+    Plans are serializable with {!to_string}, standing in for the paper's
+    protobuf hand-off to backends. *)
+
+type edge_step = {
+  s_edge : Gopt_pattern.Pattern.edge;
+      (** Constraint/alias/direction/predicate of the traversed pattern
+          edge. Endpoint {e indices} in this record are pattern-local and not
+          meaningful at execution time; the aliases below are. *)
+  s_from : string;  (** Alias of the bound endpoint the step starts from. *)
+  s_to : string;  (** Alias of the endpoint the step arrives at. *)
+  s_forward : bool;
+      (** [true] when the traversal follows the edge's stored direction
+          (from its [e_src] to its [e_dst]). *)
+  s_to_con : Gopt_pattern.Type_constraint.t;  (** Target vertex constraint. *)
+  s_to_pred : Gopt_pattern.Expr.t option;  (** Target vertex predicate. *)
+}
+
+type t =
+  | Scan of {
+      alias : string;
+      con : Gopt_pattern.Type_constraint.t;
+      pred : Gopt_pattern.Expr.t option;
+    }  (** Emit all vertices satisfying the constraint. *)
+  | Expand_all of t * edge_step
+      (** Bind the step's edge and its (new) far vertex, flattening: one
+          output row per traversed edge. *)
+  | Expand_into of t * edge_step
+      (** Both endpoints already bound: keep rows where the edge exists,
+          binding the edge alias (one row per parallel edge). *)
+  | Expand_intersect of t * edge_step list
+      (** Worst-case-optimal vertex expansion: all steps share [s_to]; the
+          new vertex is the sorted-adjacency intersection of all steps'
+          neighbour lists, then edges are unfolded. *)
+  | Path_expand of t * edge_step
+      (** Variable-length expansion ([s_edge.e_hops] is [Some _]): binds the
+          path value under the edge alias and the far endpoint under
+          [s_to] (or filters if [s_to] is already bound). *)
+  | Hash_join of { left : t; right : t; keys : string list; kind : Gopt_gir.Logical.join_kind }
+  | Select of t * Gopt_pattern.Expr.t
+  | Project of t * (Gopt_pattern.Expr.t * string) list
+  | Group of t * (Gopt_pattern.Expr.t * string) list * Gopt_gir.Logical.agg list
+  | Order of t * (Gopt_pattern.Expr.t * Gopt_gir.Logical.sort_dir) list * int option
+  | Limit of t * int
+  | Skip of t * int
+  | Unfold of t * Gopt_pattern.Expr.t * string
+      (** One output row per element of the evaluated collection. *)
+  | Dedup of t * string list
+  | Union of t * t
+  | All_distinct of t * string list
+      (** Pairwise-distinct filter over the given edge-valued fields. *)
+  | With_common of { common : t; left : t; right : t; combine : Gopt_gir.Logical.combine }
+  | Common_ref of string list
+      (** Rows of the enclosing [With_common]'s shared subplan; carries its
+          field layout. *)
+  | Empty of string list
+      (** Produces no rows (e.g. a pattern proven INVALID by type
+          inference), with the given output fields. *)
+
+val output_fields : t -> string list
+(** Visible fields, mirroring {!Gopt_gir.Logical.output_fields}. *)
+
+val pp : ?schema:Gopt_graph.Schema.t -> Format.formatter -> t -> unit
+val to_string : ?schema:Gopt_graph.Schema.t -> t -> string
+
+val operator_count : t -> int
+
+val uses_intersect : t -> bool
+(** Does the plan contain an [Expand_intersect]? (Observability for tests
+    and experiment reports.) *)

@@ -1,0 +1,133 @@
+module Pattern = Gopt_pattern.Pattern
+module Gq = Gopt_glogue.Glogue_query
+
+type t = {
+  name : string;
+  use_intersect : bool;
+  comm_factor : float;
+  join_cost : Gq.t -> left:Pattern.t -> right:Pattern.t -> target:Pattern.t -> float;
+  expand_cost :
+    Gq.t -> target:Pattern.t -> sub_edges:int list -> new_edges:int list ->
+    anchor_vertex:int -> float;
+}
+
+let sub_freq gq target edge_ids ~anchor =
+  if edge_ids = [] then Gq.get_freq gq (Pattern.single_vertex target anchor)
+  else Gq.get_freq gq (fst (Pattern.sub_by_edges target edge_ids))
+
+(* Work of adding edge [eid] onto the subpattern [sub_edges]: the size of
+   the resulting intermediate for plain edges; for a variable-length edge of
+   k hops, the engine explores every frontier along the walk, so the work is
+   the sum of the truncated-prefix frequencies (intermediate hops are
+   unconstrained vertices). *)
+let expansion_work gq target ~sub_edges ~anchor eid =
+  let e = Pattern.edge target eid in
+  match e.Pattern.e_hops with
+  | None -> sub_freq gq target (eid :: sub_edges) ~anchor
+  | Some (lo, _) when lo <= 1 -> sub_freq gq target (eid :: sub_edges) ~anchor
+  | Some (lo, _) ->
+    let q, _ = Pattern.sub_by_edges target (eid :: sub_edges) in
+    let qe =
+      match Pattern.edge_of_alias q e.Pattern.e_alias with
+      | Some i -> i
+      | None -> assert false
+    in
+    (* which endpoint of the walk is the new (far) one? the one absent from
+       the subpattern *)
+    let sub_aliases =
+      if sub_edges = [] then [ (Pattern.vertex target anchor).Pattern.v_alias ]
+      else
+        Array.to_list (Pattern.vertices (fst (Pattern.sub_by_edges target sub_edges)))
+        |> List.map (fun v -> v.Pattern.v_alias)
+    in
+    let qedge = Pattern.edge q qe in
+    let src_alias = (Pattern.vertex q qedge.Pattern.e_src).Pattern.v_alias in
+    let far = if List.mem src_alias sub_aliases then qedge.Pattern.e_dst else qedge.Pattern.e_src in
+    let total = ref 0.0 in
+    for i = 1 to lo do
+      let qi =
+        if i = lo then q
+        else begin
+          let q' =
+            Pattern.set_edge q qe { qedge with Pattern.e_hops = (if i = 1 then None else Some (i, i)) }
+          in
+          (* intermediate frontier: unconstrained, unfiltered *)
+          let farv = Pattern.vertex q' far in
+          Pattern.set_vertex q' far
+            { farv with Pattern.v_con = Gopt_pattern.Type_constraint.All; v_pred = None }
+        end
+      in
+      total := !total +. Gq.get_freq gq qi
+    done;
+    !total
+
+(* Flattening expansion (Neo4j's ExpandAll + ExpandInto): every intermediate
+   pattern is materialized row by row, so the computation is the sum of all
+   flattened intermediate frequencies. *)
+let flatten_expand_cost ?(comm = 0.0) gq ~target ~sub_edges ~new_edges ~anchor_vertex =
+  let _, total =
+    List.fold_left
+      (fun (edges, acc) e ->
+        let work = expansion_work gq target ~sub_edges:edges ~anchor:anchor_vertex e in
+        (e :: edges, acc +. (work *. (1.0 +. comm))))
+      (sub_edges, 0.0) new_edges
+  in
+  total
+
+(* Worst-case-optimal expansion (GraphScope's ExpandIntersect): adjacency
+   lists are intersected without flattening; the merge work per input row is
+   bounded by the smallest per-edge expansion, and only the final unfolded
+   result is materialized (and shuffled). *)
+let intersect_expand_cost ~comm gq ~target ~sub_edges ~new_edges ~anchor_vertex =
+  match new_edges with
+  | [] -> 0.0
+  | [ e ] ->
+    let f = expansion_work gq target ~sub_edges ~anchor:anchor_vertex e in
+    f *. (1.0 +. comm)
+  | _ ->
+    let n = float_of_int (List.length new_edges) in
+    let single_expansions =
+      List.map (fun e -> sub_freq gq target (e :: sub_edges) ~anchor:anchor_vertex) new_edges
+    in
+    let smallest = List.fold_left Float.min Float.infinity single_expansions in
+    let final = sub_freq gq target (new_edges @ sub_edges) ~anchor:anchor_vertex in
+    (n *. smallest) +. (final *. (1.0 +. comm))
+
+let hash_join_cost ~comm gq ~left ~right ~target:_ =
+  (Gq.get_freq gq left +. Gq.get_freq gq right) *. (1.0 +. comm)
+
+let neo4j =
+  {
+    name = "neo4j";
+    use_intersect = false;
+    comm_factor = 0.0;
+    join_cost = (fun gq -> hash_join_cost ~comm:0.0 gq);
+    expand_cost = (fun gq -> flatten_expand_cost ~comm:0.0 gq);
+  }
+
+let graphscope =
+  let comm = 1.0 in
+  {
+    name = "graphscope";
+    use_intersect = true;
+    comm_factor = comm;
+    join_cost = (fun gq -> hash_join_cost ~comm gq);
+    expand_cost = (fun gq -> intersect_expand_cost ~comm gq);
+  }
+
+let make ~name ~use_intersect ~comm_factor ?join_cost ?expand_cost () =
+  {
+    name;
+    use_intersect;
+    comm_factor;
+    join_cost =
+      (match join_cost with
+      | Some f -> f
+      | None -> fun gq -> hash_join_cost ~comm:comm_factor gq);
+    expand_cost =
+      (match expand_cost with
+      | Some f -> f
+      | None ->
+        if use_intersect then fun gq -> intersect_expand_cost ~comm:comm_factor gq
+        else fun gq -> flatten_expand_cost ~comm:comm_factor gq);
+  }

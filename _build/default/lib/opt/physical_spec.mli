@@ -1,0 +1,79 @@
+(** PhysicalSpec — backend-registered physical operators and cost models
+    (paper §6.3.2).
+
+    A spec tells the CBO (a) which operator a multi-edge vertex expansion
+    compiles to (flattening ExpandAll/ExpandInto vs worst-case-optimal
+    ExpandIntersect), and (b) what each pattern transformation costs on the
+    backend, including a communication term for distributed engines (the
+    paper's cost model: communication = materialized intermediate results;
+    computation = per-operator work).
+
+    Two specs ship with the library, mirroring the paper's integrations:
+
+    - {!neo4j}: single-machine, row-at-a-time. No intersection operator;
+      closing edges flatten, so an n-edge expansion costs the sum of the
+      frequencies of every flattened intermediate pattern. Communication
+      factor 0.
+
+    - {!graphscope}: distributed dataflow. Multi-edge expansions compile to
+      ExpandIntersect; their computation cost is bounded by the smallest
+      per-edge expansion (the worst-case-optimal property) and only the
+      final unfolded result is shuffled.
+
+    Backends register further specs with {!make}. *)
+
+type t = {
+  name : string;
+  use_intersect : bool;
+      (** Compile multi-edge vertex expansions to [Expand_intersect]. *)
+  comm_factor : float;
+      (** Weight of one shuffled intermediate row; 0 for single-machine
+          backends. *)
+  join_cost :
+    Gopt_glogue.Glogue_query.t ->
+    left:Gopt_pattern.Pattern.t ->
+    right:Gopt_pattern.Pattern.t ->
+    target:Gopt_pattern.Pattern.t ->
+    float;
+      (** Cost of [Join(left, right) -> target] (binary hash join). *)
+  expand_cost :
+    Gopt_glogue.Glogue_query.t ->
+    target:Gopt_pattern.Pattern.t ->
+    sub_edges:int list ->
+    new_edges:int list ->
+    anchor_vertex:int ->
+    float;
+      (** Cost of [Expand(sub -> target)] where [sub] is the subpattern of
+          [target] induced by [sub_edges] (or the single vertex
+          [anchor_vertex] when [sub_edges] is empty) and [new_edges] are the
+          edges binding the new vertex. *)
+}
+
+val neo4j : t
+val graphscope : t
+
+val make :
+  name:string ->
+  use_intersect:bool ->
+  comm_factor:float ->
+  ?join_cost:
+    (Gopt_glogue.Glogue_query.t ->
+    left:Gopt_pattern.Pattern.t ->
+    right:Gopt_pattern.Pattern.t ->
+    target:Gopt_pattern.Pattern.t ->
+    float) ->
+  ?expand_cost:
+    (Gopt_glogue.Glogue_query.t ->
+    target:Gopt_pattern.Pattern.t ->
+    sub_edges:int list ->
+    new_edges:int list ->
+    anchor_vertex:int ->
+    float) ->
+  unit ->
+  t
+(** Custom spec; omitted cost functions default to the flattening model. *)
+
+val sub_freq :
+  Gopt_glogue.Glogue_query.t -> Gopt_pattern.Pattern.t -> int list -> anchor:int -> float
+(** Frequency of the subpattern of a target pattern induced by an edge set
+    (the single vertex [anchor] when empty) — shared by cost models. *)

@@ -1,0 +1,26 @@
+(** Physical-plan serialization.
+
+    The paper hands optimized physical plans to backends as protobuf
+    messages ("Output Format", §7); this module plays that role with a
+    self-describing s-expression encoding. [decode (encode p)] reconstructs
+    the plan exactly, so a backend process can execute plans produced by a
+    separate optimizer process.
+
+    The encoding covers every physical operator, expression, type constraint
+    and edge-step field. It is versioned ([gopt-plan v1] header atom). *)
+
+exception Decode_error of string
+
+val encode : Physical.t -> string
+
+val decode : string -> Physical.t
+(** Raises {!Decode_error} on malformed or version-incompatible input. *)
+
+(** Low-level s-expression layer, exposed for tests. *)
+module Sexp : sig
+  type t = Atom of string | List of t list
+
+  val to_string : t -> string
+  val of_string : string -> t
+  (** Raises {!Decode_error} on malformed input. *)
+end

@@ -1,0 +1,35 @@
+module Logical = Gopt_gir.Logical
+
+type t = {
+  name : string;
+  apply : Logical.t -> Logical.t option;
+}
+
+let make name apply = { name; apply }
+
+let fixpoint ?(max_passes = 20) rules plan =
+  let log = ref [] in
+  (* One top-down sweep: at each node, apply rules until none fires (a rule's
+     output may enable another rule at the same node), then recurse. *)
+  let rec sweep node =
+    let rec at_node node budget =
+      if budget = 0 then node
+      else
+        match List.find_map (fun r -> Option.map (fun p -> (r.name, p)) (r.apply node)) rules with
+        | Some (name, node') ->
+          log := name :: !log;
+          at_node node' (budget - 1)
+        | None -> node
+    in
+    let node = at_node node 50 in
+    Logical.map_children sweep node
+  in
+  let rec iterate plan passes =
+    if passes = 0 then plan
+    else begin
+      let plan' = sweep plan in
+      if Logical.equal plan plan' then plan else iterate plan' (passes - 1)
+    end
+  in
+  let result = iterate plan max_passes in
+  (result, List.rev !log)

@@ -1,0 +1,23 @@
+(** The heuristic-rule framework of GOpt's RBO (paper §6.1).
+
+    A rule is a named local rewrite: it inspects one plan node (the
+    condition) and, when applicable, returns a replacement subplan (the
+    action) — the two-step recipe of paper §7. Rules are extensible and
+    pluggable: the rewriter applies any rule list to a fixpoint, mirroring
+    Calcite's HepPlanner. *)
+
+type t = {
+  name : string;
+  apply : Gopt_gir.Logical.t -> Gopt_gir.Logical.t option;
+      (** [apply node] is [Some node'] if the rule fires at this node. The
+          rewriter walks the whole plan; rules never need to recurse. *)
+}
+
+val make : string -> (Gopt_gir.Logical.t -> Gopt_gir.Logical.t option) -> t
+
+val fixpoint :
+  ?max_passes:int -> t list -> Gopt_gir.Logical.t -> Gopt_gir.Logical.t * string list
+(** Repeatedly sweep the plan top-down, applying the first applicable rule at
+    each node, until no rule fires or [max_passes] (default 20) sweeps have
+    run. Returns the rewritten plan and the names of rules applied, in
+    order. *)

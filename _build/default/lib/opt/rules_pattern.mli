@@ -1,0 +1,26 @@
+(** The four pattern-aware heuristic rules of paper §6.1.
+
+    - {!filter_into_pattern}: push SELECT predicates that target a single
+      pattern element into that element, so constraints apply during
+      matching instead of after it.
+    - {!join_to_pattern}: fuse [JOIN(MATCH p1, MATCH p2)] into a single
+      MATCH when the join keys are exactly the shared pattern vertices
+      (sound under homomorphism semantics, Remark 3.1).
+    - {!com_sub_pattern}: factor the common subpattern out of the two
+      branches of a UNION, matching it once and continuing each branch from
+      its bindings.
+    - {!field_trim} (a whole-plan pass rather than a local rule): drop
+      fields as soon as they are no longer referenced, inserting PROJECTs
+      after pattern matches and annotating pattern vertices with the
+      property columns actually used. *)
+
+val filter_into_pattern : Rule.t
+val join_to_pattern : Rule.t
+val com_sub_pattern : Rule.t
+
+val field_trim : Gopt_gir.Logical.t -> Gopt_gir.Logical.t
+(** Top-down needed-fields analysis; inserts trimming PROJECT operators and
+    sets [v_columns] on pattern vertices. *)
+
+val all : Rule.t list
+(** The three local rules, in recommended order. *)

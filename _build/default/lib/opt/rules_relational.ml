@@ -1,0 +1,177 @@
+module Logical = Gopt_gir.Logical
+module Expr = Gopt_pattern.Expr
+module SS = Set.Make (String)
+
+let fields plan = SS.of_list (Logical.output_fields plan)
+
+let tags_subset e set = List.for_all (fun t -> SS.mem t set) (Expr.free_tags e)
+
+let select_merge =
+  Rule.make "SelectMerge" (fun node ->
+      match node with
+      | Logical.Select (Logical.Select (x, a), b) ->
+        Some (Logical.Select (x, Expr.Binop (Expr.And, a, b)))
+      | _ -> None)
+
+let subst_through ps e =
+  let table = List.map (fun (expr, alias) -> (alias, expr)) ps in
+  Expr.substitute (fun tag -> List.assoc_opt tag table) e
+
+let select_pushdown =
+  Rule.make "SelectPushdown" (fun node ->
+      match node with
+      | Logical.Select (Logical.Project (x, ps), pred) -> begin
+        match subst_through ps pred with
+        | Some pred' -> Some (Logical.Project (Logical.Select (x, pred'), ps))
+        | None -> None
+      end
+      | Logical.Select (Logical.Join { left; right; keys; kind }, pred) ->
+        let lf = fields left and rf = fields right in
+        let push_left, push_right, keep =
+          List.fold_left
+            (fun (pl, pr, keep) conj ->
+              if tags_subset conj lf then (conj :: pl, pr, keep)
+              else if kind = Logical.Inner && tags_subset conj rf then (pl, conj :: pr, keep)
+              else (pl, pr, conj :: keep))
+            ([], [], []) (Expr.conjuncts pred)
+        in
+        if push_left = [] && push_right = [] then None
+        else begin
+          let wrap plan = function
+            | [] -> plan
+            | cs -> Logical.Select (plan, Option.get (Expr.conj (List.rev cs)))
+          in
+          let join =
+            Logical.Join
+              { left = wrap left push_left; right = wrap right push_right; keys; kind }
+          in
+          Some (wrap join keep)
+        end
+      | Logical.Select (Logical.Union (a, b), pred) ->
+        Some (Logical.Union (Logical.Select (a, pred), Logical.Select (b, pred)))
+      | Logical.Select (Logical.Dedup (x, tags), pred) ->
+        Some (Logical.Dedup (Logical.Select (x, pred), tags))
+      | Logical.Select (Logical.All_distinct (x, tags), pred) ->
+        (* a row-local filter commutes with the edge-distinctness filter *)
+        Some (Logical.All_distinct (Logical.Select (x, pred), tags))
+      | _ -> None)
+
+let project_merge =
+  Rule.make "ProjectMerge" (fun node ->
+      match node with
+      | Logical.Project (Logical.Project (x, inner), outer) ->
+        let substituted =
+          List.map (fun (e, a) -> Option.map (fun e' -> (e', a)) (subst_through inner e)) outer
+        in
+        if List.for_all Option.is_some substituted then
+          Some (Logical.Project (x, List.map Option.get substituted))
+        else None
+      | _ -> None)
+
+let limit_pushdown =
+  Rule.make "LimitPushdown" (fun node ->
+      match node with
+      | Logical.Limit (Logical.Order (x, ks, None), n) -> Some (Logical.Order (x, ks, Some n))
+      | Logical.Limit (Logical.Order (x, ks, Some m), n) ->
+        Some (Logical.Order (x, ks, Some (min m n)))
+      | Logical.Limit (Logical.Limit (x, m), n) -> Some (Logical.Limit (x, min m n))
+      | Logical.Limit (Logical.Skip (Logical.Order (x, ks, None), k), n) ->
+        (* ORDER .. SKIP k LIMIT n = top-(k+n) then drop k *)
+        Some (Logical.Skip (Logical.Order (x, ks, Some (k + n)), k))
+      | Logical.Limit (Logical.Project (x, ps), n) ->
+        Some (Logical.Project (Logical.Limit (x, n), ps))
+      | Logical.Limit (Logical.Union (a, b), n) -> begin
+        (* bound each branch, keeping the outer limit; fires once *)
+        match a, b with
+        | Logical.Limit _, Logical.Limit _ -> None
+        | _ ->
+          Some (Logical.Limit (Logical.Union (Logical.Limit (a, n), Logical.Limit (b, n)), n))
+      end
+      | _ -> None)
+
+(* Eager aggregation below an inner join (Calcite's AggregatePushDown as used
+   by the paper's IC9/BI13 analysis): pre-aggregate the right side per join
+   key when the grouping keys read only the left input and the aggregates
+   read only the right. COUNT becomes a partial COUNT summed after the join;
+   SUM/MIN/MAX push through unchanged. *)
+let aggregate_pushdown =
+  Rule.make "AggregatePushdown" (fun node ->
+      match node with
+      | Logical.Group
+          (Logical.Join { left; right; keys; kind = Logical.Inner }, group_keys, aggs) ->
+        let lf = fields left and rf = fields right in
+        let pushable_fn a =
+          match a.Logical.agg_fn with
+          | Logical.Count | Logical.Sum | Logical.Min | Logical.Max -> true
+          | Logical.Count_distinct | Logical.Avg | Logical.Collect -> false
+        in
+        let reads_right a =
+          match a.Logical.agg_arg with
+          | None -> true
+          | Some e -> tags_subset e rf
+        in
+        let already_rewritten a =
+          match a.Logical.agg_arg with
+          | Some e -> List.exists (fun t -> String.length t >= 5 && String.sub t 0 5 = "@pagg") (Expr.free_tags e)
+          | None -> false
+        in
+        if
+          group_keys <> []
+          && List.for_all (fun (e, _) -> tags_subset e lf) group_keys
+          && aggs <> []
+          && List.for_all (fun a -> pushable_fn a && reads_right a) aggs
+          && not (List.exists already_rewritten aggs)
+        then begin
+          let partial_alias i = Printf.sprintf "@pagg%d" i in
+          let partial_aggs =
+            List.mapi
+              (fun i a -> { a with Logical.agg_alias = partial_alias i })
+              aggs
+          in
+          let right' =
+            Logical.Group (right, List.map (fun k -> (Expr.Var k, k)) keys, partial_aggs)
+          in
+          let final_aggs =
+            List.mapi
+              (fun i a ->
+                let arg = Some (Expr.Var (partial_alias i)) in
+                match a.Logical.agg_fn with
+                | Logical.Count | Logical.Sum ->
+                  { a with Logical.agg_fn = Logical.Sum; agg_arg = arg }
+                | Logical.Min -> { a with Logical.agg_arg = arg }
+                | Logical.Max -> { a with Logical.agg_arg = arg }
+                | _ -> assert false)
+              aggs
+          in
+          Some
+            (Logical.Group
+               ( Logical.Join { left; right = right'; keys; kind = Logical.Inner },
+                 group_keys, final_aggs ))
+        end
+        else None
+      | _ -> None)
+
+let constant_fold =
+  Rule.make "ConstantFold" (fun node ->
+      match node with
+      | Logical.Select (x, pred) -> begin
+        let folded = Expr.const_fold pred in
+        match folded with
+        | Expr.Const (Gopt_graph.Value.Bool true) -> Some x
+        | _ -> if Expr.equal folded pred then None else Some (Logical.Select (x, folded))
+      end
+      | Logical.Project (x, ps) ->
+        let folded = List.map (fun (e, a) -> (Expr.const_fold e, a)) ps in
+        if List.for_all2 (fun (e, _) (f, _) -> Expr.equal e f) ps folded then None
+        else Some (Logical.Project (x, folded))
+      | _ -> None)
+
+let all =
+  [
+    constant_fold;
+    select_merge;
+    select_pushdown;
+    project_merge;
+    limit_pushdown;
+    aggregate_pushdown;
+  ]

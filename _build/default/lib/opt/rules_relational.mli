@@ -1,0 +1,29 @@
+(** Relational heuristic rules (the Calcite-inherited side of GOpt's RBO,
+    paper §7 / Remark 7.1).
+
+    GOpt incorporates classic relational rewrites alongside the
+    pattern-aware rules; the ones that matter for the paper's workloads are
+    implemented here:
+
+    - {!select_merge}: fuse stacked SELECTs into one conjunction;
+    - {!select_pushdown}: move SELECT below PROJECT (substituting through
+      the projection), below JOIN (to the side that binds all referenced
+      tags), below UNION and DEDUP;
+    - {!project_merge}: compose stacked PROJECTs;
+    - {!limit_pushdown}: fuse LIMIT into ORDER as a top-k, and push LIMIT
+      through PROJECT and UNION;
+    - {!aggregate_pushdown}: the eager-aggregation rewrite Calcite applies
+      in the paper's IC9/BI13 runs — a GROUP over an inner JOIN partially
+      aggregates the right side before the join when keys come from the
+      left and aggregates (COUNT/SUM/MIN/MAX) read only the right;
+    - {!constant_fold}: fold constant subexpressions in SELECT/PROJECT,
+      eliminating SELECT(true). *)
+
+val select_merge : Rule.t
+val select_pushdown : Rule.t
+val project_merge : Rule.t
+val limit_pushdown : Rule.t
+val aggregate_pushdown : Rule.t
+val constant_fold : Rule.t
+
+val all : Rule.t list

@@ -1,0 +1,1 @@
+lib/pattern/canonical.ml: Array Buffer Expr Fun List Pattern Printf String Type_constraint

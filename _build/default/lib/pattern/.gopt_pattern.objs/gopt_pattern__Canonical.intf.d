@@ -1,0 +1,1 @@
+lib/pattern/canonical.mli: Pattern

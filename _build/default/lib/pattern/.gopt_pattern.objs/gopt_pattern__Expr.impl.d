@@ -1,0 +1,1 @@
+lib/pattern/expr.ml: Format Gopt_graph Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/pattern/expr.mli: Format Gopt_graph

@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Array Expr Format Fun Gopt_graph Gopt_util Hashtbl Int List Printf Type_constraint

@@ -1,0 +1,1 @@
+lib/pattern/pattern.mli: Expr Format Gopt_graph Type_constraint

@@ -1,0 +1,1 @@
+lib/pattern/type_constraint.mli: Format

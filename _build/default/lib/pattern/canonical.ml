@@ -1,0 +1,91 @@
+let hops_str = function
+  | None -> ""
+  | Some (lo, hi) -> Printf.sprintf "*%d-%d" lo hi
+
+let path_str = function
+  | Pattern.Arbitrary -> ""
+  | Pattern.Simple -> "!s"
+  | Pattern.Trail -> "!t"
+
+let pred_str = function None -> "" | Some p -> "?" ^ Expr.to_string p
+
+let keyed_code p =
+  let buf = Buffer.create 128 in
+  let vs =
+    Array.to_list (Pattern.vertices p)
+    |> List.sort (fun a b -> String.compare a.Pattern.v_alias b.Pattern.v_alias)
+  in
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "V<%s:%s%s>" v.Pattern.v_alias
+           (Type_constraint.fingerprint v.Pattern.v_con)
+           (pred_str v.Pattern.v_pred)))
+    vs;
+  let es =
+    Array.to_list (Pattern.edges p)
+    |> List.map (fun e ->
+           let sa = (Pattern.vertex p e.Pattern.e_src).Pattern.v_alias in
+           let da = (Pattern.vertex p e.Pattern.e_dst).Pattern.v_alias in
+           Printf.sprintf "E<%s>%s>%s:%s%s%s%s%s" sa da e.Pattern.e_alias
+             (Type_constraint.fingerprint e.Pattern.e_con)
+             (if e.Pattern.e_directed then "" else "~")
+             (hops_str e.Pattern.e_hops) (path_str e.Pattern.e_path)
+             (pred_str e.Pattern.e_pred))
+    |> List.sort String.compare
+  in
+  List.iter (Buffer.add_string buf) es;
+  Buffer.contents buf
+
+(* Serialize under a given vertex relabeling. *)
+let code_under p perm =
+  let buf = Buffer.create 64 in
+  let vs = Pattern.vertices p in
+  let order = Array.make (Array.length perm) 0 in
+  Array.iteri (fun old_idx new_idx -> order.(new_idx) <- old_idx) perm;
+  Array.iter
+    (fun old_idx ->
+      Buffer.add_string buf
+        (Printf.sprintf "v%s;" (Type_constraint.fingerprint vs.(old_idx).Pattern.v_con)))
+    order;
+  let es =
+    Array.to_list (Pattern.edges p)
+    |> List.map (fun e ->
+           let s = perm.(e.Pattern.e_src) and d = perm.(e.Pattern.e_dst) in
+           let s, d, dirflag =
+             if e.Pattern.e_directed then (s, d, ">")
+             else if s <= d then (s, d, "~")
+             else (d, s, "~")
+           in
+           Printf.sprintf "e%d,%d%s%s%s%s;" s d dirflag
+             (Type_constraint.fingerprint e.Pattern.e_con)
+             (hops_str e.Pattern.e_hops) (path_str e.Pattern.e_path))
+    |> List.sort String.compare
+  in
+  List.iter (Buffer.add_string buf) es;
+  Buffer.contents buf
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let iso_code p =
+  let n = Pattern.n_vertices p in
+  let perms = permutations (List.init n Fun.id) in
+  let best = ref None in
+  List.iter
+    (fun perm_list ->
+      let perm = Array.of_list perm_list in
+      let code = code_under p perm in
+      match !best with
+      | Some b when String.compare b code <= 0 -> ()
+      | _ -> best := Some code)
+    perms;
+  match !best with Some c -> c | None -> "empty"
+
+let iso_equal a b = String.equal (iso_code a) (iso_code b)

@@ -1,0 +1,23 @@
+(** Canonical codes for patterns.
+
+    Two codes serve two different lookups in the optimizer:
+
+    - {!keyed_code} identifies a subpattern {e within one planning run}: it
+      keeps aliases (which are unique and stable across decompositions of the
+      same query pattern), so it is a cheap deterministic serialization. It is
+      the key of Algorithm 2's memo table [M].
+
+    - {!iso_code} identifies a pattern {e up to isomorphism}, ignoring
+      aliases and predicates: structurally identical patterns with identical
+      type constraints get identical codes. It is the key of the GLogue
+      statistics store, where motif frequencies must be shared across all
+      isomorphic query subpatterns. Computed by minimizing the serialization
+      over all vertex permutations; intended for the small (<= 4-vertex)
+      patterns GLogue stores, though correct for any size. *)
+
+val keyed_code : Pattern.t -> string
+
+val iso_code : Pattern.t -> string
+
+val iso_equal : Pattern.t -> Pattern.t -> bool
+(** [iso_equal a b] — same {!iso_code}. *)

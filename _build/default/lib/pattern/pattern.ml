@@ -1,0 +1,291 @@
+type path_sem = Arbitrary | Simple | Trail
+
+type vertex = {
+  v_con : Type_constraint.t;
+  v_pred : Expr.t option;
+  v_alias : string;
+  v_columns : string list option;
+}
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_con : Type_constraint.t;
+  e_pred : Expr.t option;
+  e_alias : string;
+  e_directed : bool;
+  e_hops : (int * int) option;
+  e_path : path_sem;
+}
+
+type t = {
+  vs : vertex array;
+  es : edge array;
+  valias : (string, int) Hashtbl.t;
+  ealias : (string, int) Hashtbl.t;
+  incid : int list array; (* vertex -> incident edge ids, ascending *)
+}
+
+let mk_vertex ?pred ?columns ~alias con =
+  { v_con = con; v_pred = pred; v_alias = alias; v_columns = columns }
+
+let mk_edge ?pred ?(directed = true) ?hops ?(path = Arbitrary) ~alias ~src ~dst con =
+  {
+    e_src = src;
+    e_dst = dst;
+    e_con = con;
+    e_pred = pred;
+    e_alias = alias;
+    e_directed = directed;
+    e_hops = hops;
+    e_path = path;
+  }
+
+let create vs es =
+  let n = Array.length vs in
+  let valias = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem valias v.v_alias then
+        invalid_arg (Printf.sprintf "Pattern.create: duplicate vertex alias %S" v.v_alias);
+      Hashtbl.add valias v.v_alias i)
+    vs;
+  let ealias = Hashtbl.create (2 * Array.length es) in
+  let incid = Array.make n [] in
+  Array.iteri
+    (fun i e ->
+      if e.e_src < 0 || e.e_src >= n || e.e_dst < 0 || e.e_dst >= n then
+        invalid_arg "Pattern.create: edge endpoint out of range";
+      if e.e_src = e.e_dst then invalid_arg "Pattern.create: self-loop";
+      (match e.e_hops with
+      | Some (lo, hi) when lo < 1 || hi < lo -> invalid_arg "Pattern.create: bad hop range"
+      | _ -> ());
+      if Hashtbl.mem ealias e.e_alias then
+        invalid_arg (Printf.sprintf "Pattern.create: duplicate edge alias %S" e.e_alias);
+      Hashtbl.add ealias e.e_alias i;
+      incid.(e.e_src) <- i :: incid.(e.e_src);
+      incid.(e.e_dst) <- i :: incid.(e.e_dst))
+    es;
+  Array.iteri (fun v l -> incid.(v) <- List.sort Int.compare l) incid;
+  { vs; es; valias; ealias; incid }
+
+let n_vertices t = Array.length t.vs
+let n_edges t = Array.length t.es
+let vertex t i = t.vs.(i)
+let edge t i = t.es.(i)
+let vertices t = t.vs
+let edges t = t.es
+let vertex_of_alias t a = Hashtbl.find_opt t.valias a
+let edge_of_alias t a = Hashtbl.find_opt t.ealias a
+let incident_edges t v = t.incid.(v)
+
+let neighbors t v =
+  List.map
+    (fun ei ->
+      let e = t.es.(ei) in
+      (ei, if e.e_src = v then e.e_dst else e.e_src))
+    t.incid.(v)
+
+let degree t v = List.length t.incid.(v)
+
+let is_connected t =
+  let n = n_vertices t in
+  if n = 0 then false
+  else begin
+    let seen = Array.make n false in
+    let rec dfs v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        List.iter (fun (_, u) -> dfs u) (neighbors t v)
+      end
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  end
+
+let has_var_length t = Array.exists (fun e -> e.e_hops <> None) t.es
+
+let set_vertex t i v =
+  let vs = Array.copy t.vs in
+  vs.(i) <- v;
+  create vs t.es
+
+let set_edge t i e =
+  let es = Array.copy t.es in
+  es.(i) <- e;
+  create t.vs es
+
+let map_vertices f t = create (Array.mapi f t.vs) t.es
+let map_edges f t = create t.vs (Array.mapi f t.es)
+
+let conj_opt old_pred p =
+  match old_pred with
+  | None -> Some p
+  | Some q -> Some (Expr.Binop (Expr.And, q, p))
+
+let add_vertex_pred t i p =
+  let v = t.vs.(i) in
+  set_vertex t i { v with v_pred = conj_opt v.v_pred p }
+
+let add_edge_pred t i p =
+  let e = t.es.(i) in
+  set_edge t i { e with e_pred = conj_opt e.e_pred p }
+
+let sub_by_edges t eids =
+  let eids = List.sort_uniq Int.compare eids in
+  let old_of_new = Gopt_util.Vec.create () in
+  let new_of_old = Array.make (n_vertices t) (-1) in
+  let touch v =
+    if new_of_old.(v) < 0 then begin
+      new_of_old.(v) <- Gopt_util.Vec.length old_of_new;
+      Gopt_util.Vec.push old_of_new v
+    end
+  in
+  List.iter
+    (fun ei ->
+      let e = t.es.(ei) in
+      touch e.e_src;
+      touch e.e_dst)
+    eids;
+  let vmap = Gopt_util.Vec.to_array old_of_new in
+  let vs = Array.map (fun old -> t.vs.(old)) vmap in
+  let es =
+    Array.of_list
+      (List.map
+         (fun ei ->
+           let e = t.es.(ei) in
+           { e with e_src = new_of_old.(e.e_src); e_dst = new_of_old.(e.e_dst) })
+         eids)
+  in
+  (create vs es, vmap)
+
+let single_vertex t i = create [| t.vs.(i) |] [||]
+
+let remove_vertex t v =
+  if n_vertices t <= 1 then None
+  else begin
+    let kept = List.filter (fun ei -> not (List.mem ei t.incid.(v))) (List.init (n_edges t) Fun.id) in
+    if kept = [] then
+      if n_vertices t = 2 && n_edges t >= 1 then
+        (* removing one endpoint of a single-edge pattern leaves one vertex *)
+        let other = if v = 0 then 1 else 0 in
+        Some (single_vertex t other)
+      else None
+    else begin
+      let sub, _ = sub_by_edges t kept in
+      (* valid only if exactly the removed vertex disappeared and the rest is
+         connected *)
+      if n_vertices sub = n_vertices t - 1 && is_connected sub then Some sub else None
+    end
+  end
+
+let shared_aliases a b =
+  Array.to_list a.vs
+  |> List.filter_map (fun v ->
+         if Hashtbl.mem b.valias v.v_alias then Some v.v_alias else None)
+
+let merge a b =
+  let vs = Gopt_util.Vec.create () in
+  Array.iter (fun v -> Gopt_util.Vec.push vs v) a.vs;
+  let index_of_alias = Hashtbl.copy a.valias in
+  Array.iter
+    (fun v ->
+      match Hashtbl.find_opt index_of_alias v.v_alias with
+      | Some i ->
+        (* shared vertex: intersect constraints, conjoin predicates *)
+        let existing = Gopt_util.Vec.get vs i in
+        let con =
+          (* intersection over a nominal universe: use max type id + 1 *)
+          let universe = 1024 in
+          match Type_constraint.inter ~universe existing.v_con v.v_con with
+          | Some c -> c
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Pattern.merge: incompatible constraints on %S" v.v_alias)
+        in
+        let pred =
+          match existing.v_pred, v.v_pred with
+          | None, p | p, None -> p
+          | Some p, Some q when Expr.equal p q -> Some p
+          | Some p, Some q -> Some (Expr.Binop (Expr.And, p, q))
+        in
+        Gopt_util.Vec.set vs i { existing with v_con = con; v_pred = pred }
+      | None ->
+        Hashtbl.add index_of_alias v.v_alias (Gopt_util.Vec.length vs);
+        Gopt_util.Vec.push vs v)
+    b.vs;
+  let es = Gopt_util.Vec.create () in
+  Array.iter (fun e -> Gopt_util.Vec.push es e) a.es;
+  Array.iter
+    (fun e ->
+      if not (Hashtbl.mem a.ealias e.e_alias) then begin
+        let resolve old = Hashtbl.find index_of_alias b.vs.(old).v_alias in
+        Gopt_util.Vec.push es { e with e_src = resolve e.e_src; e_dst = resolve e.e_dst }
+      end)
+    b.es;
+  create (Gopt_util.Vec.to_array vs) (Gopt_util.Vec.to_array es)
+
+let split_path_edge t ~eid ~at ~mid_alias =
+  let e = t.es.(eid) in
+  let k =
+    match e.e_hops with
+    | Some (lo, hi) when lo = hi -> lo
+    | _ -> invalid_arg "Pattern.split_path_edge: not an exact-length path edge"
+  in
+  if at < 1 || at >= k then invalid_arg "Pattern.split_path_edge: split position out of range";
+  let mid = n_vertices t in
+  let vs =
+    Array.append t.vs
+      [| mk_vertex ~alias:mid_alias Type_constraint.All |]
+  in
+  let hops n = if n = 1 then None else Some (n, n) in
+  let e1 =
+    { e with e_dst = mid; e_alias = e.e_alias ^ "#1"; e_hops = hops at }
+  in
+  let e2 =
+    { e with e_src = mid; e_alias = e.e_alias ^ "#2"; e_hops = hops (k - at) }
+  in
+  let es =
+    Array.concat
+      [ Array.sub t.es 0 eid; [| e1; e2 |]; Array.sub t.es (eid + 1) (n_edges t - eid - 1) ]
+  in
+  create vs es
+
+let pp ?schema ppf t =
+  let vname =
+    match schema with
+    | Some s -> fun i -> Gopt_graph.Schema.vtype_name s i
+    | None -> string_of_int
+  in
+  let ename =
+    match schema with
+    | Some s -> fun i -> Gopt_graph.Schema.etype_name s i
+    | None -> string_of_int
+  in
+  let pp_v ppf i =
+    let v = t.vs.(i) in
+    Format.fprintf ppf "(%s:%a%s)" v.v_alias
+      (Type_constraint.pp ~names:vname)
+      v.v_con
+      (match v.v_pred with None -> "" | Some p -> " WHERE " ^ Expr.to_string p)
+  in
+  Format.fprintf ppf "@[<v>";
+  if n_edges t = 0 then
+    Array.iteri (fun i _ -> Format.fprintf ppf "%a@," pp_v i) t.vs
+  else
+    Array.iter
+      (fun e ->
+        let hops =
+          match e.e_hops with
+          | None -> ""
+          | Some (lo, hi) when lo = hi -> Printf.sprintf "*%d" lo
+          | Some (lo, hi) -> Printf.sprintf "*%d..%d" lo hi
+        in
+        let arrow = if e.e_directed then "->" else "-" in
+        Format.fprintf ppf "%a-[%s:%a%s]%s%a@," pp_v e.e_src e.e_alias
+          (Type_constraint.pp ~names:ename)
+          e.e_con hops arrow pp_v e.e_dst)
+      t.es;
+  Format.fprintf ppf "@]"
+
+let to_string ?schema t = Format.asprintf "%a" (pp ?schema) t

@@ -1,0 +1,132 @@
+(** Pattern graphs (paper §3).
+
+    A pattern is a small connected graph whose vertices and edges carry type
+    constraints ({!Type_constraint.t}), optional predicates pushed in by the
+    FilterIntoPattern rule, and aliases connecting pattern elements to the
+    relational part of the CGP. Pattern edges may be variable-length paths
+    (the EXPAND_PATH operator of the GIR) with Arbitrary / Simple / Trail
+    semantics.
+
+    Vertices and edges are indexed [0 .. n-1]. Every element has an alias,
+    unique within its namespace (the GraphIrBuilder invents ["@v0"]-style
+    aliases for anonymous elements). *)
+
+type path_sem = Arbitrary | Simple | Trail
+
+type vertex = {
+  v_con : Type_constraint.t;
+  v_pred : Expr.t option;
+  v_alias : string;
+  v_columns : string list option;
+      (** FieldTrim annotation: property columns to materialize during
+          matching; [None] keeps the full element. *)
+}
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_con : Type_constraint.t;
+  e_pred : Expr.t option;
+  e_alias : string;
+  e_directed : bool;  (** [false] matches either orientation. *)
+  e_hops : (int * int) option;
+      (** [Some (lo, hi)]: a path of [lo..hi] consecutive edges. *)
+  e_path : path_sem;
+}
+
+type t
+
+val mk_vertex :
+  ?pred:Expr.t -> ?columns:string list -> alias:string -> Type_constraint.t -> vertex
+
+val mk_edge :
+  ?pred:Expr.t ->
+  ?directed:bool ->
+  ?hops:int * int ->
+  ?path:path_sem ->
+  alias:string ->
+  src:int ->
+  dst:int ->
+  Type_constraint.t ->
+  edge
+
+val create : vertex array -> edge array -> t
+(** Raises [Invalid_argument] on out-of-range endpoints, duplicate aliases,
+    self-loops, or invalid hop ranges. Disconnected patterns are allowed at
+    construction ({!is_connected} reports); the optimizer requires
+    connectivity where the paper does. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+val vertex : t -> int -> vertex
+val edge : t -> int -> edge
+val vertices : t -> vertex array
+(** The internal array — treat as read-only. *)
+
+val edges : t -> edge array
+
+val vertex_of_alias : t -> string -> int option
+val edge_of_alias : t -> string -> int option
+
+val incident_edges : t -> int -> int list
+(** Edge ids touching a vertex, ascending. *)
+
+val neighbors : t -> int -> (int * int) list
+(** [(edge id, other endpoint)] pairs for a vertex. *)
+
+val degree : t -> int -> int
+
+val is_connected : t -> bool
+
+val has_var_length : t -> bool
+(** True if any edge is a variable-length path. *)
+
+(** {1 Functional updates} *)
+
+val set_vertex : t -> int -> vertex -> t
+val set_edge : t -> int -> edge -> t
+
+val map_vertices : (int -> vertex -> vertex) -> t -> t
+val map_edges : (int -> edge -> edge) -> t -> t
+
+val add_vertex_pred : t -> int -> Expr.t -> t
+(** Conjoin a predicate onto a vertex (FilterIntoPattern action). *)
+
+val add_edge_pred : t -> int -> Expr.t -> t
+
+(** {1 Decomposition (CBO support)} *)
+
+val sub_by_edges : t -> int list -> t * int array
+(** [sub_by_edges p eids] is the subpattern induced by the given edges: its
+    vertices are exactly their endpoints. Returns the subpattern and
+    [vmap] with [vmap.(new_vertex) = old_vertex]. Aliases are preserved. *)
+
+val single_vertex : t -> int -> t
+(** The one-vertex pattern for vertex [i] of [p] (constraint, predicate and
+    alias preserved). *)
+
+val remove_vertex : t -> int -> t option
+(** [remove_vertex p v] drops [v] and its incident edges. [None] if the rest
+    is empty, lost a vertex entirely, or is disconnected — i.e. when
+    Expand(Ps -> P) is not a valid transformation. *)
+
+val shared_aliases : t -> t -> string list
+(** Vertex aliases present in both patterns — the join key of PatternJoin. *)
+
+val merge : t -> t -> t
+(** [merge p1 p2] unions two patterns, identifying vertices by alias
+    (JoinToPattern action). Edges of [p2] whose alias already exists in [p1]
+    are assumed identical and dropped. Raises [Invalid_argument] if a shared
+    vertex alias carries incompatible (disjoint) type constraints. *)
+
+val split_path_edge : t -> eid:int -> at:int -> mid_alias:string -> t
+(** [split_path_edge p ~eid ~at ~mid_alias] replaces variable-length edge
+    [eid] of exact length [k] with two consecutive path edges of lengths
+    [at] and [k - at], joined by a fresh unconstrained vertex. Used by the
+    S-T path planner (paper §8.5). Raises [Invalid_argument] if [eid] is not
+    an exact-length path edge or [at] is out of range. *)
+
+val pp : ?schema:Gopt_graph.Schema.t -> Format.formatter -> t -> unit
+(** Render as ASCII-art, e.g. ["(a:Person)-[e1:KNOWS]->(b:*)"]. *)
+
+val to_string : ?schema:Gopt_graph.Schema.t -> t -> string

@@ -1,0 +1,1 @@
+lib/typeinf/type_inference.ml: Array Fun Gopt_graph Gopt_pattern Int List Queue Set

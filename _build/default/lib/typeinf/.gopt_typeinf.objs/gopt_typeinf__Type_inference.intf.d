@@ -1,0 +1,1 @@
+lib/typeinf/type_inference.mli: Gopt_graph Gopt_pattern

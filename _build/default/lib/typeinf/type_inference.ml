@@ -1,0 +1,154 @@
+module Schema = Gopt_graph.Schema
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+
+type result =
+  | Inferred of Pattern.t * int
+  | Invalid
+
+module Iset = Set.Make (Int)
+
+(* For pattern edge [ei] incident to [u], the schema triples compatible with
+   the *current* constraint sets are enumerated to derive candidate types for
+   the far endpoint and for the edge itself. Directions:
+   - u is the source of a directed edge  -> out_schema u-types
+   - u is the target of a directed edge  -> in_schema u-types
+   - undirected                          -> both. *)
+let candidates_through schema u_types e =
+  let add_dir acc dir =
+    Iset.fold
+      (fun ut (vs, es) ->
+        List.fold_left
+          (fun (vs, es) (et, other) -> (Iset.add other vs, Iset.add et es))
+          (vs, es)
+          (match dir with `Out -> Schema.out_schema schema ut | `In -> Schema.in_schema schema ut))
+      u_types acc
+  in
+  fun ~u_is_src ->
+    if e.Pattern.e_directed then
+      if u_is_src then add_dir (Iset.empty, Iset.empty) `Out
+      else add_dir (Iset.empty, Iset.empty) `In
+    else
+      add_dir (add_dir (Iset.empty, Iset.empty) `Out) `In
+
+(* A vertex type [t] supports incident edge [e] (with far endpoint types
+   [far] and edge types [ets]) if some compatible schema triple exists. *)
+let type_supports_edge schema t ~u_is_src ~directed far ets =
+  let check dir =
+    let nbrs = match dir with `Out -> Schema.out_schema schema t | `In -> Schema.in_schema schema t in
+    List.exists (fun (et, other) -> Iset.mem et ets && Iset.mem other far) nbrs
+  in
+  if directed then check (if u_is_src then `Out else `In) else check `Out || check `In
+
+let infer ?(prioritized = true) schema p =
+  let nv = Pattern.n_vertices p and ne = Pattern.n_edges p in
+  let vuniv = Schema.n_vtypes schema and euniv = Schema.n_etypes schema in
+  let vtypes =
+    Array.init nv (fun i ->
+        Iset.of_list (Tc.to_list ~universe:vuniv (Pattern.vertex p i).Pattern.v_con))
+  in
+  let etypes =
+    Array.init ne (fun i ->
+        Iset.of_list (Tc.to_list ~universe:euniv (Pattern.edge p i).Pattern.e_con))
+  in
+  let in_queue = Array.make nv false in
+  let queue = Queue.create () in
+  let initial_order =
+    let idx = List.init nv Fun.id in
+    if prioritized then
+      List.sort
+        (fun a b -> Int.compare (Iset.cardinal vtypes.(a)) (Iset.cardinal vtypes.(b)))
+        idx
+    else idx
+  in
+  List.iter
+    (fun i ->
+      Queue.add i queue;
+      in_queue.(i) <- true)
+    initial_order;
+  let iterations = ref 0 in
+  let invalid = ref false in
+  (try
+     while not (Queue.is_empty queue) do
+       let u = Queue.pop queue in
+       in_queue.(u) <- false;
+       incr iterations;
+       let u_before = vtypes.(u) in
+       List.iter
+         (fun ei ->
+           let e = Pattern.edge p ei in
+           if e.Pattern.e_hops = None then begin
+             let u_is_src = e.Pattern.e_src = u in
+             let v = if u_is_src then e.Pattern.e_dst else e.Pattern.e_src in
+             (* 1. prune u's own types that cannot support this edge *)
+             let supported =
+               Iset.filter
+                 (fun t ->
+                   type_supports_edge schema t ~u_is_src ~directed:e.Pattern.e_directed
+                     vtypes.(v) etypes.(ei))
+                 vtypes.(u)
+             in
+             if not (Iset.equal supported vtypes.(u)) then begin
+               vtypes.(u) <- supported;
+               if Iset.is_empty supported then raise Exit
+             end;
+             (* 2. propagate candidate far-endpoint and edge types *)
+             let cands = candidates_through schema vtypes.(u) e in
+             let cand_v, cand_e = cands ~u_is_src in
+             let v' = Iset.inter vtypes.(v) cand_v in
+             let e' = Iset.inter etypes.(ei) cand_e in
+             if Iset.is_empty v' || Iset.is_empty e' then raise Exit;
+             if not (Iset.equal e' etypes.(ei)) then etypes.(ei) <- e';
+             if not (Iset.equal v' vtypes.(v)) then begin
+               vtypes.(v) <- v';
+               if not in_queue.(v) then begin
+                 Queue.add v queue;
+                 in_queue.(v) <- true
+               end
+             end
+           end)
+         (Pattern.incident_edges p u);
+       (* If u's own constraint narrowed while processing its edges, earlier
+          propagations used the wider set: requeue u so the fixpoint is
+          independent of processing order. *)
+       if (not (Iset.equal vtypes.(u) u_before)) && not in_queue.(u) then begin
+         Queue.add u queue;
+         in_queue.(u) <- true
+       end
+     done
+   with Exit -> invalid := true);
+  if !invalid then Invalid
+  else begin
+    let rebuild_v i v =
+      match Tc.of_list ~universe:vuniv (Iset.elements vtypes.(i)) with
+      | Some con -> { v with Pattern.v_con = con }
+      | None -> assert false
+    in
+    let rebuild_e i e =
+      match Tc.of_list ~universe:euniv (Iset.elements etypes.(i)) with
+      | Some con -> { e with Pattern.e_con = con }
+      | None -> assert false
+    in
+    let p' = Pattern.map_vertices rebuild_v p |> Pattern.map_edges rebuild_e in
+    Inferred (p', !iterations)
+  end
+
+let assignment_satisfiable schema p vtypes =
+  let euniv = Schema.n_etypes schema in
+  let ok = ref true in
+  Array.iteri
+    (fun _ (e : Pattern.edge) ->
+      if e.Pattern.e_hops = None then begin
+        let s = vtypes.(e.Pattern.e_src) and d = vtypes.(e.Pattern.e_dst) in
+        let ets = Tc.to_list ~universe:euniv e.Pattern.e_con in
+        let direct =
+          List.exists (fun et -> Schema.triple_allowed schema ~src:s ~etype:et ~dst:d) ets
+        in
+        let flipped =
+          (not e.Pattern.e_directed)
+          && List.exists (fun et -> Schema.triple_allowed schema ~src:d ~etype:et ~dst:s) ets
+        in
+        if not (direct || flipped) then ok := false
+      end)
+    (Pattern.edges p);
+  !ok

@@ -1,0 +1,42 @@
+(** Automatic type inference and validation for patterns (paper §6.2,
+    Algorithm 1).
+
+    Patterns in real CGPs often leave vertices and edges untyped (AllType) or
+    loosely typed (UnionType). This module narrows every constraint to the
+    types actually realizable under the graph schema, by propagating schema
+    connectivity along pattern edges until a fixpoint:
+
+    - a worklist of pattern vertices, processed most-constrained-first
+      (ascending |tau(u)|, the paper's priority queue);
+    - for each processed vertex, the candidate vertex types and edge types of
+      its pattern neighbours are intersected with what the schema allows from
+      the vertex's current constraint (we propagate along both outgoing and
+      incoming pattern edges, the straightforward extension the paper notes);
+    - a vertex type survives only if, for each incident pattern edge, at
+      least one schema triple is compatible with the edge's and the far
+      endpoint's current constraints (a strictly stronger filter than the
+      paper's degree-only test, still sound);
+    - if any constraint becomes empty the pattern is unsatisfiable: INVALID.
+
+    Variable-length path edges: constraints are not propagated across them
+    (multi-hop reachability typing is out of scope, matching the paper's
+    focus), which is sound — inference may only narrow when certain. *)
+
+type result =
+  | Inferred of Gopt_pattern.Pattern.t * int
+      (** The pattern with validated constraints, and the number of worklist
+          iterations until convergence. *)
+  | Invalid
+      (** No type assignment can satisfy the pattern under this schema. *)
+
+val infer : ?prioritized:bool -> Gopt_graph.Schema.t -> Gopt_pattern.Pattern.t -> result
+(** [infer schema p] runs Algorithm 1. [prioritized] (default [true])
+    processes most-constrained vertices first; [false] uses insertion order
+    (exists for the A3 ablation — results are identical, convergence may be
+    slower). *)
+
+val assignment_satisfiable :
+  Gopt_graph.Schema.t -> Gopt_pattern.Pattern.t -> int array -> bool
+(** [assignment_satisfiable schema p vtypes] — do the given concrete vertex
+    types (one per pattern vertex) admit edge types satisfying every
+    single-hop pattern edge? Test oracle for inference soundness. *)

@@ -1,0 +1,88 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64: Steele, Lea, Flood — "Fast splittable pseudorandom number
+   generators" (OOPSLA'14). Chosen for its tiny state, full 64-bit output and
+   well-studied statistical quality. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  assert (bound > 0);
+  (* mask to 62 bits so the result is a non-negative OCaml int *)
+  let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  r mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  (* 53 significant bits, matching double precision *)
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choice t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Zipf by inversion on the continuous approximation of the harmonic CDF:
+   P(rank <= x) ~ H(x)/H(n) with H(x) = (x^(1-s) - 1)/(1-s) for s <> 1 and
+   ln x for s = 1. Accurate enough for workload skew; exactness is not
+   required. *)
+let zipf t ~n ~s =
+  assert (n > 0);
+  if n = 1 then 0
+  else
+    let u = Stdlib.max 1e-12 (float t 1.0) in
+    let x =
+      if Float.abs (s -. 1.0) < 1e-9 then Float.exp (u *. Float.log (float_of_int n))
+      else
+        let h n = ((float_of_int n ** (1.0 -. s)) -. 1.0) /. (1.0 -. s) in
+        let target = u *. h n in
+        ((target *. (1.0 -. s)) +. 1.0) ** (1.0 /. (1.0 -. s))
+    in
+    let r = int_of_float x - 1 in
+    Stdlib.max 0 (Stdlib.min (n - 1) r)
+
+let sample_distinct t ~n ~k =
+  let k = Stdlib.min k n in
+  if k <= 0 then []
+  else if k * 3 >= n then begin
+    (* dense case: shuffle a prefix *)
+    let arr = Array.init n (fun i -> i) in
+    shuffle t arr;
+    Array.to_list (Array.sub arr 0 k)
+  end
+  else begin
+    let seen = Hashtbl.create (2 * k) in
+    let rec draw acc remaining =
+      if remaining = 0 then acc
+      else
+        let v = int t n in
+        if Hashtbl.mem seen v then draw acc remaining
+        else begin
+          Hashtbl.add seen v ();
+          draw (v :: acc) (remaining - 1)
+        end
+    in
+    draw [] k
+  end

@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All synthetic data in this repository is generated from explicit seeds so
+    that every experiment is exactly reproducible. We do not use [Random] from
+    the standard library: its state is global and its stream is not guaranteed
+    stable across OCaml releases. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a seed. Equal seeds produce
+    equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output of splitmix64. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] samples a rank in [\[0, n)] from a Zipf distribution with
+    exponent [s], by inversion on the (approximated) harmonic CDF. Used to give
+    generated graphs the heavy-tailed degree skew of real social networks. *)
+
+val sample_distinct : t -> n:int -> k:int -> int list
+(** [sample_distinct t ~n ~k] draws [min k n] distinct values from
+    [\[0, n)], in no particular order. *)

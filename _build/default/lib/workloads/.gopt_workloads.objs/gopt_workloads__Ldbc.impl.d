@@ -1,0 +1,1 @@
+lib/workloads/ldbc.ml: Array Gopt_graph Gopt_util Printf

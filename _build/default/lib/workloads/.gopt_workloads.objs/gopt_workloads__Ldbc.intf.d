@@ -1,0 +1,1 @@
+lib/workloads/ldbc.mli: Gopt_graph

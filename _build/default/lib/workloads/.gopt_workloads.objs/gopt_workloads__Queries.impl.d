@@ -1,0 +1,1 @@
+lib/workloads/queries.ml: Gopt_gir Gopt_lang List

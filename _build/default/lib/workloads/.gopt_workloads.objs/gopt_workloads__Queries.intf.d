@@ -1,0 +1,1 @@
+lib/workloads/queries.mli: Gopt_graph Gopt_pattern

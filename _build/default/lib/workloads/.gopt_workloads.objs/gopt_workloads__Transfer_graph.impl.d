@@ -1,0 +1,1 @@
+lib/workloads/transfer_graph.ml: Array Gopt_graph Gopt_util List

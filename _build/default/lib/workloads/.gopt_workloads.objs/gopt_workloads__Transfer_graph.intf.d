@@ -1,0 +1,1 @@
+lib/workloads/transfer_graph.mli: Gopt_graph

@@ -1,0 +1,263 @@
+type query = {
+  name : string;
+  cypher : string;
+  gremlin : string option;
+  rule : string option;
+  description : string;
+}
+
+let q ?gremlin ?rule name description cypher = { name; cypher; gremlin; rule; description }
+
+(* ------------------------------------------------------------------ IC -- *)
+
+let ic =
+  [
+    q "IC1" "friends up to 3 hops with a given first name"
+      "MATCH (p:Person {id: 10})-[:KNOWS*1..3]-(f:Person) WHERE f.firstName = 'Wei' \
+       RETURN f.id AS fid, f.lastName AS lastName ORDER BY fid ASC LIMIT 20";
+    q "IC2" "recent messages by friends"
+      "MATCH (p:Person {id: 17})-[:KNOWS]-(f:Person)<-[:HAS_CREATOR]-(m:Post|Comment) \
+       WHERE m.creationDate < 1500000000 \
+       RETURN f.id AS fid, m.id AS mid, m.creationDate AS cd ORDER BY cd DESC LIMIT 20";
+    q "IC3" "friends located in a given country"
+      "MATCH (p:Person {id: 5})-[:KNOWS*1..2]-(f:Person)-[:IS_LOCATED_IN]->(c:City)-[:IS_PART_OF]->(n:Country) \
+       WHERE n.name = 'country_2' \
+       RETURN f.id AS fid, count(*) AS cnt ORDER BY cnt DESC LIMIT 20";
+    q "IC4" "new topics among friends' posts"
+      "MATCH (p:Person {id: 3})-[:KNOWS]-(f:Person)<-[:HAS_CREATOR]-(po:Post)-[:HAS_TAG]->(t:Tag) \
+       RETURN t.name AS tname, count(*) AS cnt ORDER BY cnt DESC, tname ASC LIMIT 10";
+    q "IC5" "new forums of friends (cyclic membership/authorship)"
+      "MATCH (p:Person {id: 8})-[:KNOWS*1..2]-(f:Person)<-[:HAS_MEMBER]-(fo:Forum)-[:CONTAINER_OF]->(po:Post)-[:HAS_CREATOR]->(f) \
+       RETURN fo.title AS title, count(*) AS cnt ORDER BY cnt DESC LIMIT 20";
+    q "IC6" "co-occurring tags of friends' posts"
+      "MATCH (p:Person {id: 4})-[:KNOWS*1..2]-(f:Person)<-[:HAS_CREATOR]-(po:Post)-[:HAS_TAG]->(t:Tag {name: 'tag_3'}), \
+       (po)-[:HAS_TAG]->(ot:Tag) WHERE ot.name <> 'tag_3' \
+       RETURN ot.name AS oname, count(*) AS cnt ORDER BY cnt DESC LIMIT 10";
+    q "IC7" "recent likers of my messages"
+      "MATCH (p:Person {id: 12})<-[:HAS_CREATOR]-(m:Post|Comment)<-[:LIKES]-(liker:Person) \
+       RETURN liker.id AS lid, max(m.creationDate) AS latest ORDER BY latest DESC LIMIT 20";
+    q "IC8" "recent replies to my messages"
+      "MATCH (p:Person {id: 9})<-[:HAS_CREATOR]-(m:Post|Comment)<-[:REPLY_OF]-(c:Comment)-[:HAS_CREATOR]->(author:Person) \
+       RETURN author.id AS aid, c.id AS cid, c.creationDate AS cd ORDER BY cd DESC LIMIT 20";
+    q "IC9" "recent messages by friends-of-friends"
+      "MATCH (p:Person {id: 6})-[:KNOWS*1..2]-(f:Person)<-[:HAS_CREATOR]-(m:Post|Comment) \
+       WHERE m.creationDate < 1600000000 \
+       RETURN f.id AS fid, count(m) AS cnt ORDER BY cnt DESC LIMIT 20";
+    q "IC10" "friend recommendation via common interests (with anti-join)"
+      "MATCH (p:Person {id: 2})-[:KNOWS]-(f:Person)-[:KNOWS]-(fof:Person)-[:HAS_INTEREST]->(t:Tag)<-[:HAS_INTEREST]-(p) \
+       WHERE fof.id <> 2 AND NOT (p)-[:KNOWS]-(fof) \
+       RETURN fof.id AS fid, count(*) AS score ORDER BY score DESC LIMIT 10";
+    q "IC11" "friends working in a given country"
+      "MATCH (p:Person {id: 11})-[:KNOWS*1..2]-(f:Person)-[:WORK_AT]->(co:Company)-[:IS_LOCATED_IN]->(n:Country {name: 'country_1'}) \
+       RETURN f.id AS fid, co.name AS cname ORDER BY fid ASC LIMIT 10";
+    q "IC12" "expert search down a tag class"
+      "MATCH (p:Person {id: 1})-[:KNOWS]-(f:Person)<-[:HAS_CREATOR]-(c:Comment)-[:REPLY_OF]->(po:Post)-[:HAS_TAG]->(t:Tag)-[:HAS_TYPE]->(tc:TagClass {name: 'tagclass_2'}) \
+       RETURN f.id AS fid, count(c) AS cnt ORDER BY cnt DESC LIMIT 20";
+  ]
+
+(* ------------------------------------------------------------------ BI -- *)
+
+let bi =
+  [
+    q "BI1" "message summary by kind"
+      "MATCH (m:Post|Comment) WHERE m.creationDate < 1550000000 \
+       RETURN label(m) AS kind, count(*) AS cnt, avg(m.length) AS avgLen ORDER BY cnt DESC";
+    q "BI2" "tag usage in a country"
+      "MATCH (t:Tag)<-[:HAS_TAG]-(m:Post|Comment)-[:IS_LOCATED_IN]->(n:Country {name: 'country_0'}) \
+       RETURN t.name AS tname, count(m) AS cnt ORDER BY cnt DESC LIMIT 20";
+    q "BI3" "forum activity under a tag class"
+      "MATCH (tc:TagClass {name: 'tagclass_1'})<-[:HAS_TYPE]-(t:Tag)<-[:HAS_TAG]-(fo:Forum)-[:HAS_MEMBER]->(p:Person) \
+       RETURN fo.title AS title, count(p) AS members ORDER BY members DESC LIMIT 20";
+    q "BI4" "top posting countries (cyclic locality)"
+      "MATCH (p:Person)-[:IS_LOCATED_IN]->(c:City)-[:IS_PART_OF]->(n:Country)<-[:IS_LOCATED_IN]-(m:Post)-[:HAS_CREATOR]->(p) \
+       RETURN n.name AS country, count(*) AS cnt ORDER BY cnt DESC LIMIT 10";
+    q "BI5" "most active members of a forum"
+      "MATCH (fo:Forum {id: 1})-[:HAS_MEMBER]->(p:Person)<-[:HAS_CREATOR]-(m:Post|Comment) \
+       RETURN p.id AS pid, count(m) AS cnt ORDER BY cnt DESC LIMIT 20";
+    q "BI6" "authoritative users on a tag"
+      "MATCH (t:Tag {name: 'tag_25'})<-[:HAS_TAG]-(m1:Post)-[:HAS_CREATOR]->(p:Person), (m1)<-[:LIKES]-(liker:Person) \
+       RETURN p.id AS pid, count(liker) AS score ORDER BY score DESC LIMIT 10";
+    q "BI7" "related tags through replies"
+      "MATCH (t:Tag {name: 'tag_1'})<-[:HAS_TAG]-(m:Post)<-[:REPLY_OF]-(c:Comment)-[:HAS_TAG]->(rt:Tag) \
+       WHERE rt.name <> 'tag_1' \
+       RETURN rt.name AS rtname, count(c) AS cnt ORDER BY cnt DESC LIMIT 20";
+    q "BI8" "central persons of a tag community (cyclic)"
+      "MATCH (t:Tag {name: 'tag_2'})<-[:HAS_INTEREST]-(p:Person)-[:KNOWS]-(f:Person)-[:HAS_INTEREST]->(t) \
+       RETURN p.id AS pid, count(f) AS cnt ORDER BY cnt DESC LIMIT 10";
+    q "BI9" "forum thread volume via bounded reply chains"
+      "MATCH (fo:Forum)-[:CONTAINER_OF]->(po:Post)<-[:REPLY_OF*1..2]-(c:Comment) \
+       RETURN fo.title AS title, count(c) AS cnt ORDER BY cnt DESC LIMIT 10";
+    q "BI10" "experts: interest + authored posts on the same tag"
+      "MATCH (p:Person {id: 20})-[:KNOWS*1..2]-(f:Person)-[:HAS_INTEREST]->(t:Tag)-[:HAS_TYPE]->(tc:TagClass {name: 'tagclass_0'}), \
+       (f)<-[:HAS_CREATOR]-(m:Post)-[:HAS_TAG]->(t) \
+       RETURN f.id AS fid, count(m) AS score ORDER BY score DESC LIMIT 10";
+    q "BI11" "replies to strangers (anti-join)"
+      "MATCH (c:Comment)-[:REPLY_OF]->(po:Post)-[:HAS_CREATOR]->(p:Person) \
+       WHERE NOT (c)-[:HAS_CREATOR]->(p) \
+       RETURN p.id AS pid, count(c) AS cnt ORDER BY cnt DESC LIMIT 20";
+    q "BI12" "long-message authors"
+      "MATCH (m:Post|Comment)-[:HAS_CREATOR]->(p:Person) WHERE m.length > 400 \
+       RETURN p.id AS pid, count(m) AS cnt, avg(m.length) AS avgLen ORDER BY cnt DESC LIMIT 10";
+    q "BI13" "zombie-like accounts: posters in a country ranked by received likes"
+      "MATCH (n:Country {name: 'country_3'})<-[:IS_LOCATED_IN]-(m:Post)-[:HAS_CREATOR]->(z:Person) \
+       MATCH (z)<-[:HAS_CREATOR]-(m2:Post)<-[:LIKES]-(liker:Person) \
+       RETURN z.id AS zid, count(liker) AS likes ORDER BY likes DESC LIMIT 10";
+    q "BI14" "international friendships between two countries"
+      "MATCH (p1:Person)-[:IS_LOCATED_IN]->(c1:City)-[:IS_PART_OF]->(n1:Country {name: 'country_0'}), \
+       (p2:Person)-[:IS_LOCATED_IN]->(c2:City)-[:IS_PART_OF]->(n2:Country {name: 'country_1'}), \
+       (p1)-[:KNOWS]-(p2) \
+       RETURN p1.id AS a, p2.id AS b ORDER BY a ASC LIMIT 20";
+    q "BI16" "fans of a tag ranked by social degree"
+      "MATCH (p:Person)-[:HAS_INTEREST]->(t:Tag {name: 'tag_5'}), (p)-[:KNOWS]-(f:Person) \
+       RETURN p.id AS pid, count(f) AS deg ORDER BY deg DESC LIMIT 10";
+    q "BI17" "friendship triangles anchored in a city"
+      "MATCH (p1:Person)-[:KNOWS]-(p2:Person)-[:KNOWS]-(p3:Person)-[:KNOWS]-(p1), \
+       (p1)-[:IS_LOCATED_IN]->(c:City {name: 'city_0'}) \
+       RETURN count(*) AS cnt";
+    q "BI18" "friends ranked by mutual-friend count (cyclic)"
+      "MATCH (p:Person {id: 30})-[:KNOWS]-(f:Person)-[:KNOWS]-(mutual:Person)-[:KNOWS]-(p) \
+       RETURN f.id AS fid, count(mutual) AS cnt ORDER BY cnt DESC LIMIT 20";
+  ]
+
+let comprehensive = ic @ bi
+
+(* ------------------------------------------------------------------ QR -- *)
+
+let qr =
+  [
+    q ~rule:"FilterIntoPattern"
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p').out('IS_LOCATED_IN').hasLabel('City').as('c').has('name', 'city_7').count()"
+      "QR1" "selective post-filter on the expansion target"
+      "MATCH (p:Person)-[:IS_LOCATED_IN]->(c:City) WHERE c.name = 'city_7' RETURN count(*) AS cnt";
+    q ~rule:"FilterIntoPattern"
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p').has('browserUsed', 'Firefox').out('KNOWS').hasLabel('Person').as('f').out('IS_LOCATED_IN').hasLabel('City').as('c').has('name', 'city_2').count()"
+      "QR2" "filters on both ends of a two-hop pattern"
+      "MATCH (p:Person)-[:KNOWS]->(f:Person)-[:IS_LOCATED_IN]->(c:City) \
+       WHERE c.name = 'city_2' AND p.browserUsed = 'Firefox' RETURN count(*) AS cnt";
+    q ~rule:"FieldTrim"
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p').out('KNOWS').hasLabel('Person').as('f').out('KNOWS').hasLabel('Person').as('g').out('LIKES').hasLabel('Post').as('m').select('m').dedup().count()"
+      "QR3" "wide two-hop match joined on its last vertex, one field used"
+      "MATCH (p:Person)-[:KNOWS]->(f:Person)-[:KNOWS]->(g:Person) MATCH (g)-[:LIKES]->(m:Post) \
+       RETURN count(DISTINCT m) AS cnt";
+    q ~rule:"FieldTrim"
+      ~gremlin:
+        "g.V().hasLabel('Person').as('a').out('KNOWS').hasLabel('Person').as('b').out('KNOWS').hasLabel('Person').as('c').out('IS_LOCATED_IN').hasLabel('City').as('ci').select('ci').by('name').dedup().count()"
+      "QR4" "wide two-hop match joined and reduced to a distinct narrow column"
+      "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) MATCH (c)-[:IS_LOCATED_IN]->(ci:City) \
+       RETURN DISTINCT ci.name AS n ORDER BY n ASC";
+    q ~rule:"JoinToPattern"
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p1').out('KNOWS').hasLabel('Person').as('p2').out('IS_LOCATED_IN').hasLabel('City').as('c').has('name', 'city_0').select('p1').out('IS_LOCATED_IN').where(eq('c')).count()"
+      "QR5" "two MATCHes sharing two vertices (friends in one selective city)"
+      "MATCH (p1:Person)-[:KNOWS]->(p2:Person) \
+       MATCH (p1)-[:IS_LOCATED_IN]->(c:City {name: 'city_0'})<-[:IS_LOCATED_IN]-(p2) RETURN count(*) AS cnt";
+    q ~rule:"JoinToPattern"
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p').out('HAS_INTEREST').hasLabel('Tag').as('t').has('name', 'tag_25').select('p').out('KNOWS').hasLabel('Person').as('f').out('HAS_INTEREST').where(eq('t')).count()"
+      "QR6" "two MATCHes joined on person and a selective tag"
+      "MATCH (p:Person)-[:HAS_INTEREST]->(t:Tag {name: 'tag_25'}) \
+       MATCH (p)-[:KNOWS]->(f:Person)-[:HAS_INTEREST]->(t) RETURN count(*) AS cnt";
+    q ~rule:"ComSubPattern"
+      ~gremlin:
+        "g.V().hasLabel('Person').as('v1').out('KNOWS').hasLabel('Person').as('v2').out('KNOWS').hasLabel('Person').as('v3').union(__.out('IS_LOCATED_IN').hasLabel('City').has('name', 'city_0'), __.out('IS_LOCATED_IN').hasLabel('City').has('name', 'city_1')).count()"
+      "QR7" "union of two patterns sharing an expensive two-hop chain"
+      "MATCH (v1:Person)-[:KNOWS]->(v2:Person)-[:KNOWS]->(v3:Person)-[:IS_LOCATED_IN]->(c:City {name: 'city_0'}) RETURN v1.id AS a, v3.id AS b \
+       UNION MATCH (v1:Person)-[:KNOWS]->(v2:Person)-[:KNOWS]->(v3:Person)-[:IS_LOCATED_IN]->(c:City {name: 'city_1'}) RETURN v1.id AS a, v3.id AS b";
+    q ~rule:"ComSubPattern"
+      ~gremlin:
+        "g.V().hasLabel('Person').as('v1').out('KNOWS').hasLabel('Person').as('v2').out('KNOWS').hasLabel('Person').as('v3').out('KNOWS').hasLabel('Person').as('v4').union(__.out('WORK_AT').hasLabel('Company').has('name', 'company_0'), __.out('STUDY_AT').hasLabel('University').has('name', 'university_0')).count()"
+      "QR8" "union of two patterns sharing a three-hop chain"
+      "MATCH (v1:Person)-[:KNOWS]->(v2:Person)-[:KNOWS]->(v3:Person)-[:KNOWS]->(v4:Person)-[:WORK_AT]->(o:Company {name: 'company_0'}) RETURN v1.id AS a, v4.id AS b \
+       UNION MATCH (v1:Person)-[:KNOWS]->(v2:Person)-[:KNOWS]->(v3:Person)-[:KNOWS]->(v4:Person)-[:STUDY_AT]->(o:University {name: 'university_0'}) RETURN v1.id AS a, v4.id AS b";
+  ]
+
+(* ------------------------------------------------------------------ QT -- *)
+
+let qt =
+  [
+    q "QT1" "untyped source into TagClass (tiny inferred scan set)"
+      "MATCH (a)-[]->(b:TagClass) RETURN count(*) AS cnt";
+    q "QT2" "two untyped hops into a named country"
+      "MATCH (a)-[]->(b)-[:IS_PART_OF]->(c:Country {name: 'country_0'}) RETURN count(*) AS cnt";
+    q "QT3" "untyped forum moderators"
+      "MATCH (a)-[:HAS_MODERATOR]->(b) RETURN count(*) AS cnt";
+    q "QT4" "untyped container/likes wedge"
+      "MATCH (f)-[:CONTAINER_OF]->(m)<-[:LIKES]-(p) RETURN count(*) AS cnt";
+    q "QT5" "untyped chain into the tag-class hierarchy"
+      "MATCH (p)-[:HAS_TYPE]->(x)-[:IS_SUBCLASS_OF]->(tc) RETURN count(*) AS cnt";
+  ]
+
+(* ------------------------------------------------------------------ QC -- *)
+
+let qc =
+  [
+    q
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p1').out('KNOWS').hasLabel('Person').as('p2').select('p1').out('LIKES').hasLabel('Post').as('m').out('HAS_CREATOR').where(eq('p2')).count()"
+      "QC1a" "triangle person-knows-person / likes / creator (basic types)"
+      "MATCH (p1:Person)-[:KNOWS]->(p2:Person), (p1)-[:LIKES]->(m:Post), (m)-[:HAS_CREATOR]->(p2) \
+       RETURN count(*) AS cnt";
+    q
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p1').out('KNOWS').hasLabel('Person').as('p2').select('p1').out('LIKES').hasLabel('Post', 'Comment').as('m').out('HAS_CREATOR').where(eq('p2')).count()"
+      "QC1b" "triangle with a UnionType message"
+      "MATCH (p1:Person)-[:KNOWS]->(p2:Person), (p1)-[:LIKES]->(m:Post|Comment), (m)-[:HAS_CREATOR]->(p2) \
+       RETURN count(*) AS cnt";
+    q
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p1').out('KNOWS').hasLabel('Person').as('p2').select('p1').out('KNOWS').hasLabel('Person').as('p3').out('LIKES').hasLabel('Post').as('m').select('p2').out('LIKES').where(eq('m')).count()"
+      "QC2a" "square: two friends liking the same post (basic types)"
+      "MATCH (p1:Person)-[:KNOWS]->(p2:Person), (p1)-[:KNOWS]->(p3:Person), \
+       (p2)-[:LIKES]->(m:Post), (p3)-[:LIKES]->(m) RETURN count(*) AS cnt";
+    q
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p1').out('KNOWS').hasLabel('Person').as('p2').select('p1').out('KNOWS').hasLabel('Person').as('p3').out('LIKES').hasLabel('Post', 'Comment').as('m').select('p2').out('LIKES').where(eq('m')).count()"
+      "QC2b" "square with a UnionType message"
+      "MATCH (p1:Person)-[:KNOWS]->(p2:Person), (p1)-[:KNOWS]->(p3:Person), \
+       (p2)-[:LIKES]->(m:Post|Comment), (p3)-[:LIKES]->(m) RETURN count(*) AS cnt";
+    q
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p1').out('KNOWS').hasLabel('Person').as('p2').out('KNOWS').hasLabel('Person').as('p3').out('LIKES').hasLabel('Post').as('m').out('HAS_TAG').hasLabel('Tag').as('t').count()"
+      "QC3a" "5-path person-person-person-post-tag (basic types)"
+      "MATCH (p1:Person)-[:KNOWS]->(p2:Person)-[:KNOWS]->(p3:Person)-[:LIKES]->(m:Post)-[:HAS_TAG]->(t:Tag) \
+       RETURN count(*) AS cnt";
+    q
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p1').out('KNOWS').hasLabel('Person').as('p2').out('KNOWS').hasLabel('Person').as('p3').out('LIKES').hasLabel('Post', 'Comment').as('m').out('HAS_TAG').hasLabel('Tag').as('t').count()"
+      "QC3b" "5-path with a UnionType message"
+      "MATCH (p1:Person)-[:KNOWS]->(p2:Person)-[:KNOWS]->(p3:Person)-[:LIKES]->(m:Post|Comment)-[:HAS_TAG]->(t:Tag) \
+       RETURN count(*) AS cnt";
+    q
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p1').out('KNOWS').hasLabel('Person').as('p2').out('KNOWS').hasLabel('Person').as('p3').select('p1').out('KNOWS').where(eq('p3')).select('p1').out('IS_LOCATED_IN').hasLabel('City').as('c').select('p3').in('HAS_MEMBER').hasLabel('Forum').as('f').out('HAS_TAG').hasLabel('Tag').as('t').in('HAS_TAG').hasLabel('Post').as('m').out('HAS_CREATOR').where(eq('p1')).count()"
+      "QC4a" "7-vertex / 8-edge pattern (basic types)"
+      "MATCH (p1:Person)-[:KNOWS]->(p2:Person)-[:KNOWS]->(p3:Person), (p1)-[:KNOWS]->(p3), \
+       (p1)-[:IS_LOCATED_IN]->(c:City), (f:Forum)-[:HAS_MEMBER]->(p3), (f)-[:HAS_TAG]->(t:Tag), \
+       (m:Post)-[:HAS_CREATOR]->(p1), (m)-[:HAS_TAG]->(t) RETURN count(*) AS cnt";
+    q
+      ~gremlin:
+        "g.V().hasLabel('Person').as('p1').out('KNOWS').hasLabel('Person').as('p2').out('KNOWS').hasLabel('Person').as('p3').select('p1').out('KNOWS').where(eq('p3')).select('p1').out('IS_LOCATED_IN').hasLabel('City').as('c').select('p3').in('HAS_MEMBER').hasLabel('Forum').as('f').out('HAS_TAG').hasLabel('Tag').as('t').in('HAS_TAG').hasLabel('Post', 'Comment').as('m').out('HAS_CREATOR').where(eq('p1')).count()"
+      "QC4b" "7-vertex / 8-edge pattern with a UnionType message"
+      "MATCH (p1:Person)-[:KNOWS]->(p2:Person)-[:KNOWS]->(p3:Person), (p1)-[:KNOWS]->(p3), \
+       (p1)-[:IS_LOCATED_IN]->(c:City), (f:Forum)-[:HAS_MEMBER]->(p3), (f)-[:HAS_TAG]->(t:Tag), \
+       (m:Post|Comment)-[:HAS_CREATOR]->(p1), (m)-[:HAS_TAG]->(t) RETURN count(*) AS cnt";
+  ]
+
+let find queries name = List.find (fun q -> q.name = name) queries
+
+let pattern_of_cypher schema cypher =
+  let ast = Gopt_lang.Cypher_parser.parse cypher in
+  let plan = Gopt_lang.Lowering.cypher ~edge_distinct:false schema ast in
+  let found = ref None in
+  Gopt_gir.Logical.fold
+    (fun () n ->
+      match n with
+      | Gopt_gir.Logical.Match p when !found = None -> found := Some p
+      | _ -> ())
+    () plan;
+  match !found with
+  | Some p -> p
+  | None -> invalid_arg "pattern_of_cypher: no MATCH in query"

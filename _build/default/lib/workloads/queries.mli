@@ -1,0 +1,43 @@
+(** The benchmark query sets (paper §8.1).
+
+    - {!ic}: analogs of the LDBC Interactive Complex workloads IC1..IC12;
+    - {!bi}: analogs of the Business Intelligence workloads BI1..BI14 and
+      BI16..BI18 (IC13/14 and BI15/19/20 are excluded, as in the paper);
+    - {!qr}: QR1..QR8, one pair per heuristic rule (FilterIntoPattern,
+      FieldTrim, JoinToPattern, ComSubPattern), with Gremlin twins;
+    - {!qt}: QT1..QT5, patterns without explicit type constraints;
+    - {!qc}: QC1..QC4 in (a) BasicType and (b) UnionType variants — a
+      triangle, a square, a 5-path, and a 7-vertex/8-edge pattern — with
+      Gremlin twins.
+
+    Queries are written against the {!Ldbc} schema; analog means the
+    optimization-relevant shape of the original query (pattern topology,
+    variable-length paths, filters, aggregation) is preserved while entity
+    names map onto our generated data. *)
+
+type query = {
+  name : string;
+  cypher : string;
+  gremlin : string option;
+  rule : string option;
+      (** For QR queries: the heuristic rule the query exercises. *)
+  description : string;
+}
+
+val ic : query list
+val bi : query list
+
+val comprehensive : query list
+(** [ic @ bi] — the 29 queries of the paper's Fig. 9. *)
+
+val qr : query list
+val qt : query list
+val qc : query list
+
+val find : query list -> string -> query
+(** Lookup by name; raises [Not_found]. *)
+
+val pattern_of_cypher :
+  Gopt_graph.Schema.t -> string -> Gopt_pattern.Pattern.t
+(** Parse a MATCH-only Cypher query and return its pattern graph (used by
+    the plan-quality experiments, which compare pattern plans directly). *)

@@ -1,0 +1,51 @@
+module Schema = Gopt_graph.Schema
+module G = Gopt_graph.Property_graph
+module Value = Gopt_graph.Value
+module Prng = Gopt_util.Prng
+
+let schema =
+  Schema.create
+    ~vtypes:[ ("Account", [ ("id", Schema.P_int); ("balance", Schema.P_int) ]) ]
+    ~etypes:[ ("TRANSFER", [ ("amount", Schema.P_int); ("ts", Schema.P_int) ]) ]
+    ~triples:[ ("Account", "TRANSFER", "Account") ]
+
+let generate ?(seed = 7) ~accounts () =
+  let rng = Prng.create seed in
+  let b = G.Builder.create schema in
+  let account = Schema.vtype_id schema "Account" in
+  let transfer = Schema.etype_id schema "TRANSFER" in
+  let ids =
+    Array.init accounts (fun i ->
+        G.Builder.add_vertex b ~vtype:account
+          [ ("id", Value.Int i); ("balance", Value.Int (Prng.int rng 100000)) ])
+  in
+  Array.iteri
+    (fun i v ->
+      let degree = 1 + Prng.zipf rng ~n:30 ~s:1.25 in
+      for _ = 1 to degree do
+        let target =
+          if Prng.int rng 10 < 6 then begin
+            (* transfers cluster around nearby accounts *)
+            let offset = 1 + Prng.int rng 40 in
+            ids.((i + offset) mod accounts)
+          end
+          else ids.(Prng.zipf rng ~n:accounts ~s:1.1)
+        in
+        if target <> v then
+          ignore
+            (G.Builder.add_edge b ~src:v ~dst:target ~etype:transfer
+               [ ("amount", Value.Int (1 + Prng.int rng 10000)); ("ts", Value.Int (Prng.int rng 1000000)) ])
+      done)
+    ids;
+  G.Builder.freeze b
+
+let pick_endpoints g ~seed ~n_src ~n_dst =
+  let rng = Prng.create seed in
+  let n = G.n_vertices g in
+  let all = Prng.sample_distinct rng ~n ~k:(n_src + n_dst) in
+  let rec split k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | x :: rest -> split (k - 1) (x :: acc) rest
+    | [] -> (List.rev acc, [])
+  in
+  split n_src [] all

@@ -1,0 +1,18 @@
+(** Synthetic money-transfer graph for the S-T path case study
+    (paper §8.5).
+
+    Stands in for the production graph at Alibaba (3.6 B vertices): Account
+    vertices connected by TRANSFER edges with heavy-tailed out-degrees, so
+    that k-hop expansions explode exactly the way the case study needs.
+    Deterministic from the seed. *)
+
+val schema : Gopt_graph.Schema.t
+
+val generate : ?seed:int -> accounts:int -> unit -> Gopt_graph.Property_graph.t
+(** Average out-degree ~6, Zipf-skewed targets. Accounts carry an integer
+    [id] equal to their vertex id. *)
+
+val pick_endpoints :
+  Gopt_graph.Property_graph.t -> seed:int -> n_src:int -> n_dst:int ->
+  int list * int list
+(** Sample disjoint source/sink id sets (the paper's [(S1, S2)] pairs). *)

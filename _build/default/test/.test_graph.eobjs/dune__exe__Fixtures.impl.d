@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Gopt_graph Gopt_pattern Printf

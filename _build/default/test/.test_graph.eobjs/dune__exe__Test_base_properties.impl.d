@@ -1,0 +1,1 @@
+test/test_base_properties.ml: Alcotest Array Fixtures Fun Gopt_graph Gopt_pattern Gopt_util Int List Option Printf QCheck QCheck_alcotest

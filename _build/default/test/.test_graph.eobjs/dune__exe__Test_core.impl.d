@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fixtures Format Gopt Gopt_exec Gopt_graph Gopt_opt Gopt_pattern Gopt_workloads List Printexc Printf String

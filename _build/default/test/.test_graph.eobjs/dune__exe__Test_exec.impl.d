@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Fixtures Format Gopt_exec Gopt_gir Gopt_glogue Gopt_graph Gopt_opt Gopt_pattern Gopt_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gir.ml: Alcotest Fixtures Gopt_gir Gopt_graph Gopt_pattern List String

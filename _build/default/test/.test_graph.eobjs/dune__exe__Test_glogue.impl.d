@@ -1,0 +1,1 @@
+test/test_glogue.ml: Alcotest Array Fixtures Float Gopt_glogue Gopt_graph Gopt_pattern Gopt_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fixtures Float Gopt_graph Gopt_util Hashtbl List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Fixtures Gopt_gir Gopt_graph Gopt_lang Gopt_pattern List

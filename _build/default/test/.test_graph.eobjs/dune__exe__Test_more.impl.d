@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Fixtures Format Gopt Gopt_exec Gopt_gir Gopt_glogue Gopt_graph Gopt_lang Gopt_opt Gopt_pattern Gopt_workloads List Printf

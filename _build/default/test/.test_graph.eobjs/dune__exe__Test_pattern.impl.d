@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Array Fixtures Gopt_graph Gopt_pattern Gopt_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Array Fixtures Float Format Gopt_exec Gopt_gir Gopt_glogue Gopt_graph Gopt_opt Gopt_pattern Gopt_util List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_typeinf.ml: Alcotest Array Fixtures Fun Gopt_graph Gopt_pattern Gopt_typeinf Gopt_util Int List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Gopt_gir Gopt_graph Gopt_lang Gopt_opt Gopt_pattern Gopt_workloads List Option Printexc Printf

@@ -1,0 +1,225 @@
+(* Property-based tests for the foundation layers: type-constraint algebra,
+   expression rewrites, canonical codes, and container/RNG invariants. *)
+
+module Tc = Gopt_pattern.Type_constraint
+module Expr = Gopt_pattern.Expr
+module Pattern = Gopt_pattern.Pattern
+module Canonical = Gopt_pattern.Canonical
+module Value = Gopt_graph.Value
+module Vec = Gopt_util.Vec
+module Prng = Gopt_util.Prng
+open Fixtures
+
+let universe = 6
+
+let gen_tc rng =
+  match Prng.int rng 4 with
+  | 0 -> Tc.All
+  | 1 -> Tc.Basic (Prng.int rng universe)
+  | _ -> (
+    let k = 1 + Prng.int rng 4 in
+    match Tc.of_list ~universe (List.init k (fun _ -> Prng.int rng universe)) with
+    | Some c -> c
+    | None -> Tc.All)
+
+let prop_tc_inter_commutative =
+  QCheck.Test.make ~name:"tc: inter commutative" ~count:300 QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let a = gen_tc rng and b = gen_tc rng in
+      Option.equal Tc.equal (Tc.inter ~universe a b) (Tc.inter ~universe b a))
+
+let prop_tc_inter_is_set_intersection =
+  QCheck.Test.make ~name:"tc: inter = set intersection" ~count:300 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let a = gen_tc rng and b = gen_tc rng in
+      let expected t =
+        Tc.mem ~universe a t && Tc.mem ~universe b t
+      in
+      match Tc.inter ~universe a b with
+      | Some c -> List.for_all (fun t -> Tc.mem ~universe c t = expected t) (List.init universe Fun.id)
+      | None -> List.for_all (fun t -> not (expected t)) (List.init universe Fun.id))
+
+let prop_tc_subset_antisymmetric =
+  QCheck.Test.make ~name:"tc: subset antisymmetry" ~count:300 QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let a = gen_tc rng and b = gen_tc rng in
+      if Tc.subset ~universe a b && Tc.subset ~universe b a then
+        List.for_all
+          (fun t -> Tc.mem ~universe a t = Tc.mem ~universe b t)
+          (List.init universe Fun.id)
+      else true)
+
+let prop_tc_normalization =
+  QCheck.Test.make ~name:"tc: of_list normalizes" ~count:300 QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let k = Prng.int rng 8 in
+      let l = List.init k (fun _ -> Prng.int rng universe) in
+      match Tc.of_list ~universe l with
+      | None -> l = []
+      | Some (Tc.Basic t) -> List.sort_uniq Int.compare l = [ t ]
+      | Some (Tc.Union ts) ->
+        ts = List.sort_uniq Int.compare l && List.length ts >= 2 && List.length ts < universe
+      | Some Tc.All -> List.length (List.sort_uniq Int.compare l) = universe)
+
+(* --- expressions --------------------------------------------------------- *)
+
+let gen_expr rng =
+  let rec go depth =
+    if depth = 0 then
+      match Prng.int rng 3 with
+      | 0 -> Expr.Const (Value.Int (Prng.int rng 10))
+      | 1 -> Expr.Var (Printf.sprintf "v%d" (Prng.int rng 3))
+      | _ -> Expr.Prop (Printf.sprintf "v%d" (Prng.int rng 3), "age")
+    else
+      match Prng.int rng 4 with
+      | 0 -> Expr.Binop (Expr.And, go (depth - 1), go (depth - 1))
+      | 1 -> Expr.Binop (Expr.Add, go (depth - 1), go (depth - 1))
+      | 2 -> Expr.Unop (Expr.Not, go (depth - 1))
+      | _ -> Expr.In_list (go (depth - 1), [ Value.Int 1; Value.Int 2 ])
+  in
+  go (1 + Prng.int rng 3)
+
+let prop_expr_conj_roundtrip =
+  QCheck.Test.make ~name:"expr: conj (conjuncts e) = e (semantically)" ~count:200
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let e = gen_expr rng in
+      match Expr.conj (Expr.conjuncts e) with
+      | Some e' ->
+        (* same set of conjuncts after re-splitting *)
+        List.sort compare (List.map Expr.to_string (Expr.conjuncts e'))
+        = List.sort compare (List.map Expr.to_string (Expr.conjuncts e))
+      | None -> false)
+
+let prop_expr_rename_involution =
+  QCheck.Test.make ~name:"expr: renaming twice composes" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let e = gen_expr rng in
+      let f t = t ^ "!" in
+      let g t = "?" ^ t in
+      Expr.equal
+        (Expr.rename_tags g (Expr.rename_tags f e))
+        (Expr.rename_tags (fun t -> g (f t)) e))
+
+let prop_expr_const_fold_idempotent =
+  QCheck.Test.make ~name:"expr: const_fold idempotent" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let e = gen_expr rng in
+      let once = Expr.const_fold e in
+      Expr.equal once (Expr.const_fold once))
+
+let prop_expr_free_tags_stable_under_fold =
+  QCheck.Test.make ~name:"expr: const_fold never adds tags" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let e = gen_expr rng in
+      let before = Expr.free_tags e and after = Expr.free_tags (Expr.const_fold e) in
+      List.for_all (fun t -> List.mem t before) after)
+
+(* --- canonical codes ------------------------------------------------------- *)
+
+let prop_keyed_code_injective_on_structure =
+  QCheck.Test.make ~name:"canonical: different types give different keyed codes" ~count:200
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let t1 = Prng.int rng 3 and t2 = Prng.int rng 3 in
+      let mk t =
+        Pattern.create
+          [| pv "a" (Tc.Basic t); pv "b" Tc.All |]
+          [| pe "e" 0 1 Tc.All |]
+      in
+      (Canonical.keyed_code (mk t1) = Canonical.keyed_code (mk t2)) = (t1 = t2))
+
+let prop_iso_code_detects_direction =
+  QCheck.Test.make ~name:"canonical: direction changes iso code" ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      ignore (Prng.int rng 2);
+      let fwd =
+        Pattern.create
+          [| pv "a" (Tc.Basic person); pv "b" (Tc.Basic city) |]
+          [| pe "e" 0 1 (Tc.Basic lives_in) |]
+      in
+      let bwd =
+        Pattern.create
+          [| pv "a" (Tc.Basic person); pv "b" (Tc.Basic city) |]
+          [| pe "e" 1 0 (Tc.Basic lives_in) |]
+      in
+      not (Canonical.iso_equal fwd bwd))
+
+(* --- containers and RNG ------------------------------------------------------ *)
+
+let prop_vec_behaves_like_list =
+  QCheck.Test.make ~name:"vec: push/pop/get model" ~count:200
+    QCheck.(small_list small_int)
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      Vec.length v = List.length xs
+      && List.for_all2 (fun i x -> Vec.get v i = x) (List.init (List.length xs) Fun.id) xs
+      && Vec.to_list v = xs
+      &&
+      match Vec.pop v with
+      | None -> xs = []
+      | Some last -> last = List.nth xs (List.length xs - 1))
+
+let prop_vec_sort =
+  QCheck.Test.make ~name:"vec: sort agrees with List.sort" ~count:200
+    QCheck.(small_list small_int)
+    (fun xs ->
+      let v = Vec.of_list xs in
+      Vec.sort Int.compare v;
+      Vec.to_list v = List.sort Int.compare xs)
+
+let prop_prng_sample_distinct =
+  QCheck.Test.make ~name:"prng: sample_distinct is distinct and in range" ~count:200
+    QCheck.(pair small_int (pair (int_range 1 50) (int_range 0 60)))
+    (fun (seed, (n, k)) ->
+      let rng = Prng.create seed in
+      let s = Prng.sample_distinct rng ~n ~k in
+      List.length s = min k n
+      && List.length (List.sort_uniq Int.compare s) = List.length s
+      && List.for_all (fun x -> x >= 0 && x < n) s)
+
+let prop_prng_shuffle_permutes =
+  QCheck.Test.make ~name:"prng: shuffle is a permutation" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let arr = Array.init 20 Fun.id in
+      Prng.shuffle rng arr;
+      List.sort Int.compare (Array.to_list arr) = List.init 20 Fun.id)
+
+let () =
+  Alcotest.run "base_properties"
+    [
+      ( "type_constraint",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_tc_inter_commutative;
+            prop_tc_inter_is_set_intersection;
+            prop_tc_subset_antisymmetric;
+            prop_tc_normalization;
+          ] );
+      ( "expr",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_expr_conj_roundtrip;
+            prop_expr_rename_involution;
+            prop_expr_const_fold_idempotent;
+            prop_expr_free_tags_stable_under_fold;
+          ] );
+      ( "canonical",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_keyed_code_injective_on_structure; prop_iso_code_detects_direction ] );
+      ( "containers",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_vec_behaves_like_list;
+            prop_vec_sort;
+            prop_prng_sample_distinct;
+            prop_prng_shuffle_permutes;
+          ] );
+    ]

@@ -1,0 +1,320 @@
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Expr = Gopt_pattern.Expr
+module Logical = Gopt_gir.Logical
+module Physical = Gopt_opt.Physical
+module Spec = Gopt_opt.Physical_spec
+module Cbo = Gopt_opt.Cbo
+module Planner = Gopt_opt.Planner
+module Engine = Gopt_exec.Engine
+module Batch = Gopt_exec.Batch
+module Rval = Gopt_exec.Rval
+module Mc = Gopt_glogue.Motif_counter
+module Glogue = Gopt_glogue.Glogue
+module Gq = Gopt_glogue.Glogue_query
+module Value = Gopt_graph.Value
+module Prng = Gopt_util.Prng
+open Fixtures
+
+let gq = Gq.create (Glogue.build graph)
+
+let count_rows phys =
+  let batch, _ = Engine.run graph phys in
+  Batch.n_rows batch
+
+let match_count ?(spec = Spec.graphscope) p =
+  let plan, _ = Cbo.optimize gq spec p in
+  count_rows (Cbo.to_physical spec plan)
+
+let test_scan () =
+  let phys = Physical.Scan { alias = "a"; con = Tc.Basic person; pred = None } in
+  Alcotest.(check int) "persons" 4 (count_rows phys);
+  let pred = Expr.Binop (Expr.Eq, Expr.Prop ("a", "name"), Expr.Const (Value.Str "p0")) in
+  let phys = Physical.Scan { alias = "a"; con = Tc.Basic person; pred = Some pred } in
+  Alcotest.(check int) "filtered scan" 1 (count_rows phys)
+
+let test_pattern_counts_match_oracle () =
+  List.iter
+    (fun p ->
+      let expected = int_of_float (Mc.count_homomorphisms graph p) in
+      Alcotest.(check int) (Pattern.to_string p) expected (match_count p);
+      Alcotest.(check int) ("neo4j " ^ Pattern.to_string p) expected
+        (match_count ~spec:Spec.neo4j p))
+    [ p_knows; p_triangle; p_to_city ]
+
+let test_undirected () =
+  let p =
+    Pattern.create
+      [| pv "a" (Tc.Basic person); pv "b" (Tc.Basic person) |]
+      [| pe ~directed:false "e" 0 1 (Tc.Basic knows) |]
+  in
+  Alcotest.(check int) "undirected knows" 10 (match_count p)
+
+let test_all_distinct () =
+  (* out-fork: 7 homomorphisms, 2 with distinct edges *)
+  let fork =
+    Pattern.create
+      [| pv "a" (Tc.Basic person); pv "b" (Tc.Basic person); pv "c" (Tc.Basic person) |]
+      [| pe "e1" 0 1 (Tc.Basic knows); pe "e2" 0 2 (Tc.Basic knows) |]
+  in
+  let plan, _ = Cbo.optimize gq Spec.graphscope fork in
+  let phys = Cbo.to_physical Spec.graphscope plan in
+  Alcotest.(check int) "hom count" 7 (count_rows phys);
+  Alcotest.(check int) "edge distinct" 2 (count_rows (Physical.All_distinct (phys, [ "e1"; "e2" ])))
+
+let test_path_expand_free () =
+  (* 2-hop KNOWS walks from p0: p0->p1->p2 and p0->p2->p3 *)
+  let pred = Expr.Binop (Expr.Eq, Expr.Prop ("s", "name"), Expr.Const (Value.Str "p0")) in
+  let scan = Physical.Scan { alias = "s"; con = Tc.Basic person; pred = Some pred } in
+  let edge = pe ~hops:(2, 2) "p" 0 1 (Tc.Basic knows) in
+  let step =
+    {
+      Physical.s_edge = edge;
+      s_from = "s";
+      s_to = "t";
+      s_forward = true;
+      s_to_con = Tc.Basic person;
+      s_to_pred = None;
+    }
+  in
+  Alcotest.(check int) "2-hop walks" 2 (count_rows (Physical.Path_expand (scan, step)))
+
+let test_path_expand_bound () =
+  (* p0 to p3 in exactly 2 hops: p0->p2->p3 *)
+  let preds name v = Expr.Binop (Expr.Eq, Expr.Prop (name, "name"), Expr.Const (Value.Str v)) in
+  let scan_s = Physical.Scan { alias = "s"; con = Tc.Basic person; pred = Some (preds "s" "p0") } in
+  let scan_t = Physical.Scan { alias = "t"; con = Tc.Basic person; pred = Some (preds "t" "p3") } in
+  let cross = Physical.Hash_join { left = scan_s; right = scan_t; keys = []; kind = Logical.Inner } in
+  let edge = pe ~hops:(2, 2) "p" 0 1 (Tc.Basic knows) in
+  let step =
+    {
+      Physical.s_edge = edge;
+      s_from = "s";
+      s_to = "t";
+      s_forward = true;
+      s_to_con = Tc.Basic person;
+      s_to_pred = None;
+    }
+  in
+  Alcotest.(check int) "bound endpoint" 1 (count_rows (Physical.Path_expand (cross, step)))
+
+let test_path_semantics () =
+  (* add Simple vs Arbitrary distinction: cycle p0->p1? graph has cycle
+     p0->p2->p3->p0: 3-hop arbitrary walk from p0 returns to p0; simple
+     excludes it *)
+  let pred = Expr.Binop (Expr.Eq, Expr.Prop ("s", "name"), Expr.Const (Value.Str "p0")) in
+  let scan = Physical.Scan { alias = "s"; con = Tc.Basic person; pred = Some pred } in
+  let mk sem =
+    let edge = Pattern.mk_edge ~hops:(3, 3) ~path:sem ~alias:"p" ~src:0 ~dst:1 (Tc.Basic knows) in
+    let step =
+      {
+        Physical.s_edge = edge;
+        s_from = "s";
+        s_to = "t";
+        s_forward = true;
+        s_to_con = Tc.Basic person;
+        s_to_pred = None;
+      }
+    in
+    count_rows (Physical.Path_expand (scan, step))
+  in
+  let arb = mk Pattern.Arbitrary and simple = mk Pattern.Simple in
+  Alcotest.(check bool) "simple <= arbitrary" true (simple <= arb);
+  (* p0->p2->p3->p0 is arbitrary-only (revisits p0) *)
+  Alcotest.(check bool) "cycle excluded by simple" true (simple < arb)
+
+let test_hash_join_kinds () =
+  let scan_a = Physical.Scan { alias = "a"; con = Tc.Basic person; pred = None } in
+  let knows_b =
+    Physical.Expand_all
+      ( Physical.Scan { alias = "a"; con = Tc.Basic person; pred = None },
+        {
+          Physical.s_edge = pe "e" 0 1 (Tc.Basic knows);
+          s_from = "a";
+          s_to = "b";
+          s_forward = true;
+          s_to_con = Tc.Basic person;
+          s_to_pred = None;
+        } )
+  in
+  (* semi: persons with at least one outgoing KNOWS = p0,p1,p2,p3 all have out
+     edges? p0:2, p1:1, p2:1, p3:1 -> 4. anti: 0 *)
+  let semi =
+    Physical.Hash_join { left = scan_a; right = knows_b; keys = [ "a" ]; kind = Logical.Semi }
+  in
+  let anti =
+    Physical.Hash_join { left = scan_a; right = knows_b; keys = [ "a" ]; kind = Logical.Anti }
+  in
+  Alcotest.(check int) "semi" 4 (count_rows semi);
+  Alcotest.(check int) "anti" 0 (count_rows anti);
+  (* left outer with an empty right side keeps left rows *)
+  let empty = Physical.Empty [ "a"; "x" ] in
+  let louter =
+    Physical.Hash_join { left = scan_a; right = empty; keys = [ "a" ]; kind = Logical.Left_outer }
+  in
+  Alcotest.(check int) "left outer" 4 (count_rows louter)
+
+let test_group_order_limit () =
+  (* per-person outgoing KNOWS counts, descending *)
+  let knows =
+    Physical.Expand_all
+      ( Physical.Scan { alias = "a"; con = Tc.Basic person; pred = None },
+        {
+          Physical.s_edge = pe "e" 0 1 (Tc.Basic knows);
+          s_from = "a";
+          s_to = "b";
+          s_forward = true;
+          s_to_con = Tc.Basic person;
+          s_to_pred = None;
+        } )
+  in
+  let grouped =
+    Physical.Group
+      ( knows,
+        [ (Expr.Var "a", "a") ],
+        [ { Logical.agg_fn = Logical.Count; agg_arg = None; agg_alias = "c" } ] )
+  in
+  let ordered = Physical.Order (grouped, [ (Expr.Var "c", Logical.Desc) ], Some 1) in
+  let batch, _ = Engine.run graph ordered in
+  Alcotest.(check int) "top-1" 1 (Batch.n_rows batch);
+  let row = Batch.row batch 0 in
+  (match row.(Batch.pos batch "c") with
+  | Rval.Rval (Value.Int 2) -> ()
+  | v -> Alcotest.failf "expected count 2, got %s" (Format.asprintf "%a" (Rval.pp graph) v));
+  match row.(Batch.pos batch "a") with
+  | Rval.Rvertex 0 -> ()
+  | _ -> Alcotest.fail "expected p0 on top"
+
+let test_aggregates () =
+  let scan = Physical.Scan { alias = "a"; con = Tc.Basic person; pred = None } in
+  let aggs =
+    [
+      { Logical.agg_fn = Logical.Count; agg_arg = None; agg_alias = "cnt" };
+      { Logical.agg_fn = Logical.Sum; agg_arg = Some (Expr.Prop ("a", "age")); agg_alias = "s" };
+      { Logical.agg_fn = Logical.Avg; agg_arg = Some (Expr.Prop ("a", "age")); agg_alias = "av" };
+      { Logical.agg_fn = Logical.Min; agg_arg = Some (Expr.Prop ("a", "age")); agg_alias = "mn" };
+      { Logical.agg_fn = Logical.Max; agg_arg = Some (Expr.Prop ("a", "age")); agg_alias = "mx" };
+      { Logical.agg_fn = Logical.Count_distinct; agg_arg = Some (Expr.Prop ("a", "name")); agg_alias = "cd" };
+      { Logical.agg_fn = Logical.Collect; agg_arg = Some (Expr.Prop ("a", "age")); agg_alias = "col" };
+    ]
+  in
+  let batch, _ = Engine.run graph (Physical.Group (scan, [], aggs)) in
+  Alcotest.(check int) "one row" 1 (Batch.n_rows batch);
+  let row = Batch.row batch 0 in
+  let get name = row.(Batch.pos batch name) in
+  Alcotest.(check bool) "cnt" true (get "cnt" = Rval.Rval (Value.Int 4));
+  Alcotest.(check bool) "sum 20+21+22+23" true (get "s" = Rval.Rval (Value.Int 86));
+  (match get "av" with
+  | Rval.Rval (Value.Float f) -> Alcotest.(check (float 1e-9)) "avg" 21.5 f
+  | _ -> Alcotest.fail "avg kind");
+  Alcotest.(check bool) "min" true (get "mn" = Rval.Rval (Value.Int 20));
+  Alcotest.(check bool) "max" true (get "mx" = Rval.Rval (Value.Int 23));
+  Alcotest.(check bool) "count distinct" true (get "cd" = Rval.Rval (Value.Int 4));
+  match get "col" with
+  | Rval.Rlist l -> Alcotest.(check int) "collect size" 4 (List.length l)
+  | _ -> Alcotest.fail "collect kind"
+
+let test_group_empty_input () =
+  let empty = Physical.Empty [ "a" ] in
+  let aggs = [ { Logical.agg_fn = Logical.Count; agg_arg = None; agg_alias = "c" } ] in
+  let batch, _ = Engine.run graph (Physical.Group (empty, [], aggs)) in
+  Alcotest.(check int) "count over empty = one row" 1 (Batch.n_rows batch);
+  Alcotest.(check bool) "zero" true ((Batch.row batch 0).(0) = Rval.Rval (Value.Int 0))
+
+let test_union_dedup_project () =
+  let scan = Physical.Scan { alias = "a"; con = Tc.Basic person; pred = None } in
+  let u = Physical.Union (scan, scan) in
+  Alcotest.(check int) "union doubles" 8 (count_rows u);
+  Alcotest.(check int) "dedup halves" 4 (count_rows (Physical.Dedup (u, [])));
+  let proj = Physical.Project (u, [ (Expr.Prop ("a", "name"), "n") ]) in
+  Alcotest.(check int) "project keeps rows" 8 (count_rows proj);
+  Alcotest.(check int) "limit" 3 (count_rows (Physical.Limit (u, 3)))
+
+let test_with_common () =
+  (* common = KNOWS edge; both branches expand differently *)
+  let common = Physical.Scan { alias = "a"; con = Tc.Basic person; pred = None } in
+  let expand etype target alias =
+    Physical.Expand_all
+      ( Physical.Common_ref [ "a" ],
+        {
+          Physical.s_edge = pe "ee" 0 1 (Tc.Basic etype);
+          s_from = "a";
+          s_to = alias;
+          s_forward = true;
+          s_to_con = Tc.Basic target;
+          s_to_pred = None;
+        } )
+  in
+  let left = Physical.Project (expand lives_in city "c", [ (Expr.Var "a", "a") ]) in
+  let right = Physical.Project (expand purchased product "g", [ (Expr.Var "a", "a") ]) in
+  let plan =
+    Physical.With_common { common; left; right; combine = Logical.C_union }
+  in
+  (* LIVES_IN has 4 edges, PURCHASED has 3 *)
+  Alcotest.(check int) "factored union" 7 (count_rows plan)
+
+let test_stats_recorded () =
+  let phys = Physical.Scan { alias = "a"; con = Tc.Basic person; pred = None } in
+  let _, stats = Engine.run ~profile:Engine.graphscope_profile graph phys in
+  Alcotest.(check bool) "rows recorded" true (stats.Engine.intermediate_rows = 4);
+  Alcotest.(check bool) "comm counted" true (stats.Engine.comm_rows = 4);
+  let _, stats2 = Engine.run ~profile:Engine.neo4j_profile graph phys in
+  Alcotest.(check int) "no comm on neo4j profile" 0 stats2.Engine.comm_rows
+
+(* property: all planners agree with the brute-force oracle on random
+   connected patterns *)
+let prop_planners_agree =
+  QCheck.Test.make ~name:"all plans agree with oracle" ~count:40 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let nv = 2 + Prng.int rng 3 in
+      let vs =
+        Array.init nv (fun i ->
+            pv (Printf.sprintf "v%d" i) (if Prng.bool rng then Tc.Basic person else Tc.All))
+      in
+      let es = ref [] in
+      for i = 1 to nv - 1 do
+        let j = Prng.int rng i in
+        let src, dst = if Prng.bool rng then (i, j) else (j, i) in
+        es :=
+          pe ~directed:(Prng.bool rng) (Printf.sprintf "e%d" i) src dst
+            (if Prng.bool rng then Tc.Basic knows else Tc.All)
+          :: !es
+      done;
+      (* sometimes add a closing edge *)
+      if nv >= 3 && Prng.bool rng then
+        es := pe "extra" 0 (nv - 1) Tc.All :: !es;
+      let p = Pattern.create vs (Array.of_list !es) in
+      let expected = int_of_float (Mc.count_homomorphisms graph p) in
+      let via_cbo spec =
+        let plan, _ = Cbo.optimize gq spec p in
+        count_rows (Cbo.to_physical spec plan)
+      in
+      let via_user spec = count_rows (Planner.compile_user_order spec p) in
+      via_cbo Spec.graphscope = expected
+      && via_cbo Spec.neo4j = expected
+      && via_user Spec.graphscope = expected
+      && via_user Spec.neo4j = expected)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "scan" `Quick test_scan;
+          Alcotest.test_case "pattern counts vs oracle" `Quick test_pattern_counts_match_oracle;
+          Alcotest.test_case "undirected" `Quick test_undirected;
+          Alcotest.test_case "all distinct" `Quick test_all_distinct;
+          Alcotest.test_case "path expand free" `Quick test_path_expand_free;
+          Alcotest.test_case "path expand bound" `Quick test_path_expand_bound;
+          Alcotest.test_case "path semantics" `Quick test_path_semantics;
+          Alcotest.test_case "hash join kinds" `Quick test_hash_join_kinds;
+          Alcotest.test_case "group order limit" `Quick test_group_order_limit;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "group over empty" `Quick test_group_empty_input;
+          Alcotest.test_case "union dedup project" `Quick test_union_dedup_project;
+          Alcotest.test_case "with common" `Quick test_with_common;
+          Alcotest.test_case "stats" `Quick test_stats_recorded;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_planners_agree ]);
+    ]

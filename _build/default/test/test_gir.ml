@@ -1,0 +1,163 @@
+(* Unit tests for the GIR layer: the GraphIrBuilder pattern API, logical-plan
+   utilities and the plan printer. *)
+
+module Ir = Gopt_gir.Ir_builder
+module Logical = Gopt_gir.Logical
+module Printer = Gopt_gir.Plan_printer
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Expr = Gopt_pattern.Expr
+module Value = Gopt_graph.Value
+open Fixtures
+
+let b = Ir.create schema
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* --- pattern building API --------------------------------------------------- *)
+
+let test_builder_cycle_closure () =
+  (* triangle via get_v_from unifying back to v1 *)
+  let ctx = Ir.pattern_start b in
+  let ctx, v1 = Ir.get_v ctx ~alias:"t1" ~types:[ "Person" ] () in
+  let ctx, _ = Ir.expand_e ctx ~from:v1 ~alias:"te1" ~types:[ "KNOWS" ] ~dir:Ir.Out () in
+  let ctx, v2 = Ir.get_v_from ctx ~edge:"te1" ~alias:"t2" () in
+  let ctx, _ = Ir.expand_e ctx ~from:v2 ~alias:"te2" ~types:[ "KNOWS" ] ~dir:Ir.Out () in
+  let ctx, _ = Ir.get_v_from ctx ~edge:"te2" ~alias:"t3" () in
+  let ctx, _ = Ir.expand_e ctx ~from:"t3" ~alias:"te3" ~types:[ "KNOWS" ] ~dir:Ir.Out () in
+  let ctx, closed = Ir.get_v_from ctx ~edge:"te3" ~alias:"t1" () in
+  Alcotest.(check string) "closure returns existing alias" "t1" closed;
+  let p = Ir.pattern_end ctx in
+  Alcotest.(check int) "3 vertices" 3 (Pattern.n_vertices p);
+  Alcotest.(check int) "3 edges" 3 (Pattern.n_edges p)
+
+let test_builder_pending_edge_error () =
+  let ctx = Ir.pattern_start b in
+  let ctx, v1 = Ir.get_v ctx ~alias:"x" () in
+  let ctx, _ = Ir.expand_e ctx ~from:v1 ~alias:"dangling" ~dir:Ir.Out () in
+  match Ir.pattern_end ctx with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "pending endpoint must be rejected"
+
+let test_builder_direction_in () =
+  let ctx = Ir.pattern_start b in
+  let ctx, v1 = Ir.get_v ctx ~alias:"a" ~types:[ "City" ] () in
+  let ctx, _ = Ir.expand_e ctx ~from:v1 ~alias:"e" ~types:[ "LIVES_IN" ] ~dir:Ir.In () in
+  let ctx, _ = Ir.get_v_from ctx ~edge:"e" ~alias:"p" ~types:[ "Person" ] () in
+  let p = Ir.pattern_end ctx in
+  let e = Pattern.edge p 0 in
+  (* In: the new endpoint is the source *)
+  Alcotest.(check string) "src is the person" "p"
+    (Pattern.vertex p e.Pattern.e_src).Pattern.v_alias;
+  Alcotest.(check string) "dst is the city" "a"
+    (Pattern.vertex p e.Pattern.e_dst).Pattern.v_alias
+
+let test_builder_expand_path () =
+  let ctx = Ir.pattern_start b in
+  let ctx, v1 = Ir.get_v ctx ~alias:"s" ~types:[ "Person" ] () in
+  let ctx, _ =
+    Ir.expand_path ctx ~from:v1 ~alias:"pp" ~types:[ "KNOWS" ] ~hops:(2, 4)
+      ~path_sem:Pattern.Simple ~dir:Ir.Out ()
+  in
+  let ctx, _ = Ir.get_v_from ctx ~edge:"pp" ~alias:"t" () in
+  let p = Ir.pattern_end ctx in
+  let e = Pattern.edge p 0 in
+  Alcotest.(check bool) "hops" true (e.Pattern.e_hops = Some (2, 4));
+  Alcotest.(check bool) "simple" true (e.Pattern.e_path = Pattern.Simple)
+
+let test_builder_unknown_type () =
+  let ctx = Ir.pattern_start b in
+  match Ir.get_v ctx ~alias:"z" ~types:[ "Dragon" ] () with
+  | exception Not_found -> ()
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown type must be rejected"
+
+(* --- logical utilities -------------------------------------------------------- *)
+
+let sample_plan =
+  Ir.match_pattern p_knows
+  |> (fun m -> Ir.select m (Expr.Binop (Expr.Gt, Expr.Prop ("b", "age"), Expr.Const (Value.Int 20))))
+  |> Ir.group ~keys:[ (Expr.Var "a", "a") ] ~aggs:[ Ir.agg ~alias:"c" Logical.Count ]
+  |> Ir.order ~keys:[ (Expr.Var "c", Logical.Desc) ] ~limit:3
+
+let test_output_fields () =
+  Alcotest.(check (list string)) "match fields" [ "a"; "b"; "k" ]
+    (Logical.output_fields (Ir.match_pattern p_knows));
+  Alcotest.(check (list string)) "group fields" [ "a"; "c" ] (Logical.output_fields sample_plan);
+  let joined =
+    Ir.join ~keys:[ "a" ] (Ir.match_pattern p_knows) (Ir.match_pattern p_to_city)
+  in
+  Alcotest.(check (list string)) "join dedups shared" [ "a"; "b"; "k"; "e" ]
+    (Logical.output_fields joined);
+  let semi = Ir.join ~kind:Logical.Semi ~keys:[ "a" ] (Ir.match_pattern p_knows) (Ir.match_pattern p_to_city) in
+  Alcotest.(check (list string)) "semi keeps left" [ "a"; "b"; "k" ]
+    (Logical.output_fields semi)
+
+let test_size_and_equal () =
+  (* Match, Select, Group, Order *)
+  Alcotest.(check int) "size" 4 (Logical.size sample_plan);
+  Alcotest.(check bool) "equal self" true (Logical.equal sample_plan sample_plan);
+  Alcotest.(check bool) "not equal" false
+    (Logical.equal sample_plan (Ir.match_pattern p_knows))
+
+let test_check_rejects_unbound () =
+  let bad = Ir.select (Ir.match_pattern p_knows) (Expr.Var "nope") in
+  match Ir.check bad with
+  | Error msg -> Alcotest.(check bool) "mentions tag" true (contains msg "nope")
+  | Ok () -> Alcotest.fail "unbound tag accepted"
+
+let test_check_rejects_mismatched_union () =
+  let left = Ir.project (Ir.match_pattern p_knows) [ (Expr.Var "a", "x") ] in
+  let right = Ir.project (Ir.match_pattern p_knows) [ (Expr.Var "a", "y") ] in
+  match Ir.check (Ir.union left right) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "union with different fields accepted"
+
+let test_check_rejects_missing_join_key () =
+  let plan = Ir.join ~keys:[ "zz" ] (Ir.match_pattern p_knows) (Ir.match_pattern p_to_city) in
+  match Ir.check plan with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing join key accepted"
+
+(* --- printer ------------------------------------------------------------------ *)
+
+let test_printer_mentions_operators () =
+  let s = Printer.to_string ~schema sample_plan in
+  List.iter
+    (fun op -> Alcotest.(check bool) op true (contains s op))
+    [ "MATCH_PATTERN"; "SELECT"; "GROUP"; "ORDER"; "KNOWS"; "Person" ]
+
+let test_printer_skip_unwind () =
+  let plan = Ir.unwind (Ir.skip sample_plan 2) (Expr.Var "a") ~alias:"u" in
+  let s = Printer.to_string plan in
+  Alcotest.(check bool) "skip" true (contains s "SKIP 2");
+  Alcotest.(check bool) "unwind" true (contains s "UNWIND a AS u")
+
+let () =
+  Alcotest.run "gir"
+    [
+      ( "ir_builder",
+        [
+          Alcotest.test_case "cycle closure" `Quick test_builder_cycle_closure;
+          Alcotest.test_case "pending edge" `Quick test_builder_pending_edge_error;
+          Alcotest.test_case "direction in" `Quick test_builder_direction_in;
+          Alcotest.test_case "expand path" `Quick test_builder_expand_path;
+          Alcotest.test_case "unknown type" `Quick test_builder_unknown_type;
+        ] );
+      ( "logical",
+        [
+          Alcotest.test_case "output fields" `Quick test_output_fields;
+          Alcotest.test_case "size and equal" `Quick test_size_and_equal;
+          Alcotest.test_case "check unbound" `Quick test_check_rejects_unbound;
+          Alcotest.test_case "check union fields" `Quick test_check_rejects_mismatched_union;
+          Alcotest.test_case "check join key" `Quick test_check_rejects_missing_join_key;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "operators present" `Quick test_printer_mentions_operators;
+          Alcotest.test_case "skip and unwind" `Quick test_printer_skip_unwind;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+module G = Gopt_graph.Property_graph
+module Schema = Gopt_graph.Schema
+module Value = Gopt_graph.Value
+module Prng = Gopt_util.Prng
+open Fixtures
+
+let check_int = Alcotest.(check int)
+
+let test_counts () =
+  check_int "vertices" 8 (G.n_vertices graph);
+  check_int "edges" 14 (G.n_edges graph);
+  check_int "persons" 4 (G.count_vtype graph person);
+  check_int "cities" 2 (G.count_vtype graph city);
+  check_int "knows edges" 5 (G.count_etype graph knows);
+  check_int "knows triple" 5 (G.triple_count graph ~src:person ~etype:knows ~dst:person);
+  check_int "lives triple" 4 (G.triple_count graph ~src:person ~etype:lives_in ~dst:city)
+
+let test_adjacency () =
+  (* p0 = vertex 0: out KNOWS to p1,p2; LIVES_IN c0; PURCHASED g0 *)
+  check_int "out degree p0" 4 (G.out_degree graph 0);
+  check_int "out knows p0" 2 (G.out_degree_etype graph 0 knows);
+  check_int "in knows p0" 1 (G.in_degree_etype graph 0 knows);
+  let nbrs = G.out_neighbors_etype graph 0 knows in
+  Alcotest.(check (array int)) "knows nbrs sorted" [| 1; 2 |] nbrs;
+  Alcotest.(check bool) "has edge p0->p1" true (G.has_out_edge graph ~src:0 ~etype:knows ~dst:1);
+  Alcotest.(check bool) "no edge p1->p0" false (G.has_out_edge graph ~src:1 ~etype:knows ~dst:0);
+  check_int "parallel count" 1 (List.length (G.find_out_edges graph ~src:0 ~etype:knows ~dst:1))
+
+let test_iteration_consistency () =
+  (* every edge appears exactly once in out-iteration and once in
+     in-iteration *)
+  let seen_out = Array.make (G.n_edges graph) 0 in
+  let seen_in = Array.make (G.n_edges graph) 0 in
+  for v = 0 to G.n_vertices graph - 1 do
+    G.iter_out graph v (fun e ->
+        Alcotest.(check int) "src matches" v (G.esrc graph e);
+        seen_out.(e) <- seen_out.(e) + 1);
+    G.iter_in graph v (fun e ->
+        Alcotest.(check int) "dst matches" v (G.edst graph e);
+        seen_in.(e) <- seen_in.(e) + 1)
+  done;
+  Array.iter (fun c -> check_int "out once" 1 c) seen_out;
+  Array.iter (fun c -> check_int "in once" 1 c) seen_in
+
+let test_properties () =
+  Alcotest.(check string) "p0 name" "\"p0\"" (Value.to_string (G.vprop graph 0 "name"));
+  (match G.vprop graph 0 "age" with
+  | Value.Int 20 -> ()
+  | v -> Alcotest.failf "expected 20, got %s" (Value.to_string v));
+  (match G.vprop graph 0 "missing" with
+  | Value.Null -> ()
+  | v -> Alcotest.failf "expected null, got %s" (Value.to_string v))
+
+let test_schema_violation () =
+  let b = G.Builder.create schema in
+  let p = G.Builder.add_vertex b ~vtype:person [] in
+  let c = G.Builder.add_vertex b ~vtype:city [] in
+  Alcotest.check_raises "bad triple"
+    (Invalid_argument "Builder.add_edge: triple (City)-[KNOWS]->(Person) not in schema")
+    (fun () -> ignore (G.Builder.add_edge b ~src:c ~dst:p ~etype:knows []))
+
+let test_avg_degree () =
+  (* 5 KNOWS edges over 4 persons *)
+  Alcotest.(check (float 1e-9)) "avg out knows" 1.25
+    (G.avg_out_degree graph ~src_vtype:person ~etype:knows);
+  Alcotest.(check (float 1e-9)) "avg in lives" 2.0
+    (G.avg_in_degree graph ~dst_vtype:city ~etype:lives_in)
+
+(* property: on a random graph, CSR round-trips the inserted edge set *)
+let prop_csr_roundtrip =
+  QCheck.Test.make ~name:"csr roundtrip" ~count:50
+    QCheck.(pair (int_range 1 40) (int_range 0 200))
+    (fun (nv, ne) ->
+      let rng = Prng.create (nv * 1000 + ne) in
+      let b = G.Builder.create schema in
+      for _ = 1 to nv do
+        ignore (G.Builder.add_vertex b ~vtype:person [])
+      done;
+      let inserted = Hashtbl.create 16 in
+      let attempts = ref 0 in
+      let added = ref 0 in
+      while !added < ne && !attempts < ne * 3 do
+        incr attempts;
+        let s = Prng.int rng nv and d = Prng.int rng nv in
+        ignore (G.Builder.add_edge b ~src:s ~dst:d ~etype:knows []);
+        Hashtbl.replace inserted (s, d)
+          (1 + Option.value ~default:0 (Hashtbl.find_opt inserted (s, d)));
+        incr added
+      done;
+      let g = G.Builder.freeze b in
+      Hashtbl.fold
+        (fun (s, d) c ok ->
+          ok
+          && List.length (G.find_out_edges g ~src:s ~etype:knows ~dst:d) = c
+          && G.has_out_edge g ~src:s ~etype:knows ~dst:d)
+        inserted true
+      && G.n_edges g = !added)
+
+let prop_prng_deterministic =
+  QCheck.Test.make ~name:"prng deterministic" ~count:20 QCheck.small_int (fun seed ->
+      let a = Prng.create seed and b = Prng.create seed in
+      List.init 100 (fun _ -> Prng.int a 1000) = List.init 100 (fun _ -> Prng.int b 1000))
+
+let prop_zipf_range =
+  QCheck.Test.make ~name:"zipf in range" ~count:100
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      List.init 50 (fun _ -> Prng.zipf rng ~n ~s:1.1)
+      |> List.for_all (fun r -> r >= 0 && r < n))
+
+let prop_value_compare_total =
+  let gen_value =
+    QCheck.Gen.(
+      oneof
+        [
+          return Value.Null;
+          map (fun b -> Value.Bool b) bool;
+          map (fun n -> Value.Int n) small_signed_int;
+          map (fun f -> Value.Float (Float.of_int f /. 4.)) small_signed_int;
+          map (fun s -> Value.Str s) (string_size (return 3));
+        ])
+  in
+  let arb = QCheck.make gen_value in
+  QCheck.Test.make ~name:"value compare antisymmetric+hash" ~count:200 (QCheck.pair arb arb)
+    (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = -c2 || (c1 = 0 && c2 = 0))
+      && (c1 <> 0 || Value.hash a = Value.hash b)
+      && Value.equal a b = (c1 = 0))
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "adjacency" `Quick test_adjacency;
+          Alcotest.test_case "iteration consistency" `Quick test_iteration_consistency;
+          Alcotest.test_case "properties" `Quick test_properties;
+          Alcotest.test_case "schema violation" `Quick test_schema_violation;
+          Alcotest.test_case "avg degree" `Quick test_avg_degree;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_csr_roundtrip; prop_prng_deterministic; prop_zipf_range; prop_value_compare_total ] );
+    ]

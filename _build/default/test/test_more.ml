@@ -1,0 +1,322 @@
+(* Additional edge-case coverage: expression semantics, parser corners,
+   engine operator corners, and rule interactions. *)
+
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Expr = Gopt_pattern.Expr
+module Logical = Gopt_gir.Logical
+module Cp = Gopt_lang.Cypher_parser
+module Gp = Gopt_lang.Gremlin_parser
+module Lowering = Gopt_lang.Lowering
+module Physical = Gopt_opt.Physical
+module Spec = Gopt_opt.Physical_spec
+module Rp = Gopt_opt.Rules_pattern
+module Rr = Gopt_opt.Rules_relational
+module Rule = Gopt_opt.Rule
+module Engine = Gopt_exec.Engine
+module Batch = Gopt_exec.Batch
+module Rval = Gopt_exec.Rval
+module Eval = Gopt_exec.Eval
+module Value = Gopt_graph.Value
+module G = Gopt_graph.Property_graph
+open Fixtures
+
+let session = Gopt.Session.create graph
+
+let count q =
+  let out = Gopt.run_cypher session q in
+  match (Batch.row out.Gopt.result 0).(0) with
+  | Rval.Rval (Value.Int n) -> n
+  | _ -> Alcotest.fail "expected a count"
+
+(* --- expression semantics ------------------------------------------------- *)
+
+let eval_str src =
+  let e = Cp.parse_expression src in
+  Eval.eval graph (fun _ -> None) e
+
+let test_expression_semantics () =
+  let check src expected =
+    Alcotest.(check string) src expected (Value.to_string (eval_str src))
+  in
+  check "1 + 2 * 3" "7";
+  check "(1 + 2) * 3" "9";
+  check "10 / 4" "2";
+  check "10.0 / 4" "2.5";
+  check "7 % 3" "1";
+  check "1 < 2 AND 2 < 3" "true";
+  check "1 > 2 OR 2 < 3" "true";
+  check "NOT 1 = 2" "true";
+  check "'abc' STARTS WITH 'ab'" "true";
+  check "'abc' ENDS WITH 'bc'" "true";
+  check "'abc' CONTAINS 'b'" "true";
+  check "'abc' CONTAINS 'x'" "false";
+  check "3 IN [1, 2, 3]" "true";
+  check "null IS NULL" "true";
+  check "1 IS NOT NULL" "true";
+  (* three-valued logic *)
+  check "null = 1" "null";
+  check "null AND false" "false";
+  check "null OR true" "true";
+  check "null AND true" "null";
+  check "1 / 0" "null"
+
+let test_label_function () =
+  let out = Gopt.run_cypher session "MATCH (a:Person) RETURN DISTINCT label(a) AS l" in
+  Alcotest.(check int) "one label" 1 (Batch.n_rows out.Gopt.result);
+  match (Batch.row out.Gopt.result 0).(0) with
+  | Rval.Rval (Value.Str "Person") -> ()
+  | _ -> Alcotest.fail "expected Person"
+
+(* --- parser corners --------------------------------------------------------- *)
+
+let test_union_all_vs_union () =
+  let q base = Printf.sprintf "%s UNION %s" base base in
+  let qa base = Printf.sprintf "%s UNION ALL %s" base base in
+  let base = "MATCH (a:Person) RETURN a.name AS n" in
+  let dedup = Gopt.run_cypher session (q base) in
+  let all = Gopt.run_cypher session (qa base) in
+  Alcotest.(check int) "union dedups" 4 (Batch.n_rows dedup.Gopt.result);
+  Alcotest.(check int) "union all keeps" 8 (Batch.n_rows all.Gopt.result)
+
+let test_rel_property_map () =
+  (* KNOWS edges carry no 'since' in the fixture, so the map filters all *)
+  Alcotest.(check int) "edge prop map" 0
+    (count "MATCH (a:Person)-[k:KNOWS {since: 1999}]->(b:Person) RETURN count(*) AS c")
+
+let test_case_insensitive_keywords () =
+  Alcotest.(check int) "keywords any case" 5
+    (count "match (a:Person)-[:KNOWS]->(b:Person) return count(*) as c")
+
+let test_comparison_chains_rejected () =
+  (* 'a < b < c' should parse as (a < b) < c and not crash evaluation *)
+  let out = Gopt.run_cypher session "MATCH (a:Person) RETURN count(*) AS c LIMIT 1" in
+  Alcotest.(check int) "sanity" 1 (Batch.n_rows out.Gopt.result)
+
+let test_with_pipeline () =
+  (* WITH introduces a new scope; filters on aggregates *)
+  let out =
+    Gopt.run_cypher session
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) WITH a, count(b) AS friends WHERE friends >= 2 \
+       RETURN a.name AS n"
+  in
+  Alcotest.(check int) "only p0 has 2 friends" 1 (Batch.n_rows out.Gopt.result)
+
+let test_where_between_matches () =
+  (* p0 and p1 live in c0; their outgoing KNOWS: p0 has 2, p1 has 1 *)
+  Alcotest.(check int) "where between matches" 3
+    (count
+       "MATCH (a:Person)-[:LIVES_IN]->(c:City) WHERE c.name = 'c0' \
+        MATCH (a)-[:KNOWS]->(b:Person) RETURN count(*) AS c")
+
+(* --- engine corners --------------------------------------------------------- *)
+
+let test_parallel_edges () =
+  (* duplicate edges multiply homomorphisms *)
+  let module Schema = Gopt_graph.Schema in
+  let b = G.Builder.create schema in
+  let p0 = G.Builder.add_vertex b ~vtype:person [] in
+  let p1 = G.Builder.add_vertex b ~vtype:person [] in
+  ignore (G.Builder.add_edge b ~src:p0 ~dst:p1 ~etype:knows []);
+  ignore (G.Builder.add_edge b ~src:p0 ~dst:p1 ~etype:knows []);
+  let g2 = G.Builder.freeze b in
+  let s2 = Gopt.Session.create g2 in
+  let out = Gopt.run_cypher s2 "MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN count(*) AS c" in
+  (match (Batch.row out.Gopt.result 0).(0) with
+  | Rval.Rval (Value.Int 2) -> ()
+  | _ -> Alcotest.fail "parallel edges should both match");
+  (* and the brute-force oracle agrees *)
+  Alcotest.(check (float 1e-9)) "oracle" 2.0
+    (Gopt_glogue.Motif_counter.count_homomorphisms g2 p_knows)
+
+let test_hop_range () =
+  (* 1..2 hops from p0 following KNOWS *)
+  let out =
+    Gopt.run_cypher session
+      "MATCH (a:Person {name: 'p0'})-[:KNOWS*1..2]->(b:Person) RETURN count(*) AS c"
+  in
+  (* 1 hop: p1, p2; 2 hops: p0->p1->p2, p0->p2->p3 — total 4 *)
+  match (Batch.row out.Gopt.result 0).(0) with
+  | Rval.Rval (Value.Int 4) -> ()
+  | v -> Alcotest.failf "expected 4, got %s" (Format.asprintf "%a" (Rval.pp graph) v)
+
+let test_dedup_on_tags () =
+  let out =
+    Gopt.run_cypher session
+      "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:LIVES_IN]->(c:City) RETURN DISTINCT c.name AS n"
+  in
+  Alcotest.(check int) "distinct cities" 2 (Batch.n_rows out.Gopt.result)
+
+let test_order_multiple_keys () =
+  let out =
+    Gopt.run_cypher session
+      "MATCH (a:Person)-[:LIVES_IN]->(c:City) RETURN c.name AS city, a.name AS person \
+       ORDER BY city DESC, person ASC"
+  in
+  let cell i j =
+    match (Batch.row out.Gopt.result i).(j) with
+    | Rval.Rval (Value.Str s) -> s
+    | _ -> Alcotest.fail "expected string"
+  in
+  Alcotest.(check string) "first city" "c1" (cell 0 0);
+  Alcotest.(check string) "first person in c1" "p2" (cell 0 1);
+  Alcotest.(check string) "last city" "c0" (cell 3 0)
+
+let test_engine_timeout () =
+  (* an 8-hop unbounded walk explodes; the budget must cut it off *)
+  let g = Gopt_workloads.Transfer_graph.generate ~accounts:4000 () in
+  let account = Gopt_graph.Schema.vtype_id Gopt_workloads.Transfer_graph.schema "Account" in
+  let transfer = Gopt_graph.Schema.etype_id Gopt_workloads.Transfer_graph.schema "TRANSFER" in
+  let p =
+    Pattern.create
+      [| pv "s" (Tc.Basic account); pv "t" (Tc.Basic account) |]
+      [| pe ~hops:(8, 8) "p" 0 1 (Tc.Basic transfer) |]
+  in
+  let phys = Gopt_opt.Planner.compile_user_order Spec.graphscope p in
+  match Engine.run ~budget:0.2 g phys with
+  | exception Engine.Timeout -> ()
+  | _batch, _ -> Alcotest.fail "expected Timeout"
+
+let test_union_column_alignment () =
+  (* branches project the same aliases in different order: rows must align *)
+  let out =
+    Gopt.run_cypher session
+      "MATCH (a:Person)-[:LIVES_IN]->(c:City {name: 'c0'}) RETURN a.name AS x, c.name AS y \
+       UNION MATCH (a:Person)-[:LIVES_IN]->(c:City {name: 'c1'}) RETURN a.name AS x, c.name AS y"
+  in
+  Alcotest.(check int) "4 rows" 4 (Batch.n_rows out.Gopt.result);
+  Batch.iter
+    (fun row ->
+      match row.(Batch.pos out.Gopt.result "y") with
+      | Rval.Rval (Value.Str ("c0" | "c1")) -> ()
+      | v -> Alcotest.failf "y is not a city: %s" (Format.asprintf "%a" (Rval.pp graph) v))
+    out.Gopt.result
+
+(* --- rule interactions -------------------------------------------------------- *)
+
+let test_join_to_pattern_respects_all_distinct () =
+  (* two MATCH clauses, each with 2 edges: after fusion, two All_distinct
+     filters with the original scopes must remain *)
+  let plan =
+    Lowering.cypher schema
+      (Cp.parse
+         "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) \
+          MATCH (a)-[:LIVES_IN]->(ci:City)<-[:LIVES_IN]-(c) RETURN count(*) AS n")
+  in
+  let rewritten, applied = Rule.fixpoint (Rp.all @ Rr.all) plan in
+  Alcotest.(check bool) "join_to_pattern fired" true (List.mem "JoinToPattern" applied);
+  let distinct_scopes =
+    Logical.fold
+      (fun acc n -> match n with Logical.All_distinct (_, tags) -> tags :: acc | _ -> acc)
+      [] rewritten
+  in
+  Alcotest.(check int) "two distinctness scopes" 2 (List.length distinct_scopes);
+  List.iter (fun tags -> Alcotest.(check int) "scope of 2 edges" 2 (List.length tags)) distinct_scopes
+
+let test_constant_fold_eliminates_true () =
+  let plan = Logical.Select (Logical.Match p_knows, Expr.Const (Value.Bool true)) in
+  match Rr.constant_fold.Rule.apply plan with
+  | Some (Logical.Match _) -> ()
+  | _ -> Alcotest.fail "SELECT(true) should be dropped"
+
+let test_project_merge_fails_on_computed () =
+  (* outer uses prop access on a computed alias: substitution must fail *)
+  let inner =
+    Logical.Project
+      (Logical.Match p_knows, [ (Expr.Binop (Expr.Add, Expr.Prop ("a", "age"), Expr.Const (Value.Int 1)), "x") ])
+  in
+  let outer = Logical.Project (inner, [ (Expr.Prop ("x", "age"), "y") ]) in
+  Alcotest.(check bool) "blocked" true (Rr.project_merge.Rule.apply outer = None)
+
+let test_select_pushdown_keeps_left_outer () =
+  (* predicates on the right side of a LEFT OUTER JOIN must not push *)
+  let join =
+    Logical.Join
+      { left = Logical.Match p_knows; right = Logical.Match p_to_city; keys = []; kind = Logical.Left_outer }
+  in
+  let pred = Expr.Binop (Expr.Eq, Expr.Prop ("e", "x"), Expr.Const (Value.Int 1)) in
+  let plan = Logical.Select (join, pred) in
+  match Rr.select_pushdown.Rule.apply plan with
+  | None -> ()
+  | Some (Logical.Select (Logical.Join { right = Logical.Match _; _ }, _)) -> ()
+  | Some other ->
+    Alcotest.failf "unsound push: %s" (Gopt_gir.Plan_printer.to_string other)
+
+let test_aggregate_pushdown_correct_counts () =
+  (* BI13-shaped query: group keys from the left match, counts from the
+     right; compare default pipeline vs no-rbo execution *)
+  let q =
+    "MATCH (z:Person)-[:LIVES_IN]->(ci:City {name: 'c0'}) \
+     MATCH (z)-[:KNOWS]->(f:Person) \
+     RETURN z.name AS n, count(f) AS c ORDER BY n ASC"
+  in
+  let full = Gopt.run_cypher session q in
+  let naive =
+    Gopt.run_cypher
+      ~config:
+        {
+          (Gopt_opt.Planner.default_config ()) with
+          Gopt_opt.Planner.enable_rbo = false;
+          enable_field_trim = false;
+        }
+      session q
+  in
+  Alcotest.(check int) "same rows" (Batch.n_rows naive.Gopt.result) (Batch.n_rows full.Gopt.result);
+  for i = 0 to Batch.n_rows full.Gopt.result - 1 do
+    Alcotest.(check bool) "same row" true
+      (Batch.row full.Gopt.result i = Batch.row naive.Gopt.result i)
+  done
+
+let test_empty_graph () =
+  let module Schema = Gopt_graph.Schema in
+  let empty = G.Builder.freeze (G.Builder.create schema) in
+  let s = Gopt.Session.create empty in
+  let out = Gopt.run_cypher s "MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN count(*) AS c" in
+  match (Batch.row out.Gopt.result 0).(0) with
+  | Rval.Rval (Value.Int 0) -> ()
+  | _ -> Alcotest.fail "count over empty graph should be 0"
+
+let test_cartesian_product () =
+  (* disconnected pattern: cartesian semantics *)
+  Alcotest.(check int) "4 persons x 2 cities" 8
+    (count "MATCH (a:Person), (c:City) RETURN count(*) AS c")
+
+let () =
+  Alcotest.run "more"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "semantics" `Quick test_expression_semantics;
+          Alcotest.test_case "label()" `Quick test_label_function;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "union vs union all" `Quick test_union_all_vs_union;
+          Alcotest.test_case "rel property map" `Quick test_rel_property_map;
+          Alcotest.test_case "case insensitive" `Quick test_case_insensitive_keywords;
+          Alcotest.test_case "comparison chain" `Quick test_comparison_chains_rejected;
+          Alcotest.test_case "with pipeline" `Quick test_with_pipeline;
+          Alcotest.test_case "where between matches" `Quick test_where_between_matches;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "parallel edges" `Quick test_parallel_edges;
+          Alcotest.test_case "hop range" `Quick test_hop_range;
+          Alcotest.test_case "dedup on tags" `Quick test_dedup_on_tags;
+          Alcotest.test_case "order multiple keys" `Quick test_order_multiple_keys;
+          Alcotest.test_case "timeout" `Quick test_engine_timeout;
+          Alcotest.test_case "union alignment" `Quick test_union_column_alignment;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "cartesian product" `Quick test_cartesian_product;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "join keeps distinct scopes" `Quick
+            test_join_to_pattern_respects_all_distinct;
+          Alcotest.test_case "constant fold true" `Quick test_constant_fold_eliminates_true;
+          Alcotest.test_case "project merge blocked" `Quick test_project_merge_fails_on_computed;
+          Alcotest.test_case "left outer pushdown" `Quick test_select_pushdown_keeps_left_outer;
+          Alcotest.test_case "aggregate pushdown counts" `Quick
+            test_aggregate_pushdown_correct_counts;
+        ] );
+    ]

@@ -1,0 +1,322 @@
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Expr = Gopt_pattern.Expr
+module Logical = Gopt_gir.Logical
+module Glogue = Gopt_glogue.Glogue
+module Gq = Gopt_glogue.Glogue_query
+module Rule = Gopt_opt.Rule
+module Rp = Gopt_opt.Rules_pattern
+module Rr = Gopt_opt.Rules_relational
+module Cbo = Gopt_opt.Cbo
+module Physical = Gopt_opt.Physical
+module Spec = Gopt_opt.Physical_spec
+module Planner = Gopt_opt.Planner
+module Path_planner = Gopt_opt.Path_planner
+module Baselines = Gopt_opt.Baselines
+module Value = Gopt_graph.Value
+open Fixtures
+
+let gq = Gq.create (Glogue.build graph)
+
+let name_pred tag v = Expr.Binop (Expr.Eq, Expr.Prop (tag, "name"), Expr.Const (Value.Str v))
+
+let test_filter_into_pattern () =
+  let plan = Logical.Select (Logical.Match p_knows, name_pred "a" "p0") in
+  match Rp.filter_into_pattern.Rule.apply plan with
+  | Some (Logical.Match p) ->
+    Alcotest.(check bool) "pred pushed" true ((Pattern.vertex p 0).Pattern.v_pred <> None)
+  | _ -> Alcotest.fail "rule did not fire as expected"
+
+let test_filter_into_pattern_partial () =
+  (* one pushable conjunct + one cross-element conjunct stays *)
+  let cross = Expr.Binop (Expr.Lt, Expr.Prop ("a", "age"), Expr.Prop ("b", "age")) in
+  let plan =
+    Logical.Select (Logical.Match p_knows, Expr.Binop (Expr.And, name_pred "a" "p0", cross))
+  in
+  match Rp.filter_into_pattern.Rule.apply plan with
+  | Some (Logical.Select (Logical.Match p, rest)) ->
+    Alcotest.(check bool) "pred pushed" true ((Pattern.vertex p 0).Pattern.v_pred <> None);
+    Alcotest.(check bool) "cross stays" true (Expr.equal rest cross)
+  | _ -> Alcotest.fail "expected partial push"
+
+let test_join_to_pattern () =
+  let p1 =
+    Pattern.create
+      [| pv "a" (Tc.Basic person); pv "b" (Tc.Basic person) |]
+      [| pe "e1" 0 1 (Tc.Basic knows) |]
+  in
+  let p2 =
+    Pattern.create
+      [| pv "b" (Tc.Basic person); pv "c" (Tc.Basic city) |]
+      [| pe "e2" 0 1 (Tc.Basic lives_in) |]
+  in
+  let plan =
+    Logical.Join { left = Logical.Match p1; right = Logical.Match p2; keys = [ "b" ]; kind = Logical.Inner }
+  in
+  match Rp.join_to_pattern.Rule.apply plan with
+  | Some (Logical.Match m) ->
+    Alcotest.(check int) "merged vertices" 3 (Pattern.n_vertices m);
+    Alcotest.(check int) "merged edges" 2 (Pattern.n_edges m)
+  | _ -> Alcotest.fail "join_to_pattern did not fire"
+
+let test_join_to_pattern_blocked () =
+  (* join keys not covering all shared aliases: must not fire *)
+  let p1 =
+    Pattern.create
+      [| pv "a" (Tc.Basic person); pv "b" (Tc.Basic person) |]
+      [| pe "e1" 0 1 (Tc.Basic knows) |]
+  in
+  let p2 =
+    Pattern.create
+      [| pv "a" (Tc.Basic person); pv "b" (Tc.Basic person) |]
+      [| pe "e2" 0 1 (Tc.Basic knows) |]
+  in
+  let plan =
+    Logical.Join { left = Logical.Match p1; right = Logical.Match p2; keys = [ "a" ]; kind = Logical.Inner }
+  in
+  Alcotest.(check bool) "blocked" true (Rp.join_to_pattern.Rule.apply plan = None)
+
+let test_com_sub_pattern () =
+  let p1 =
+    Pattern.create
+      [| pv "v1" (Tc.Basic person); pv "v2" (Tc.Basic person); pv "@x1" (Tc.Basic city) |]
+      [| pe "@e1" 0 1 (Tc.Basic knows); pe "@e2" 1 2 (Tc.Basic lives_in) |]
+  in
+  let p2 =
+    Pattern.create
+      [| pv "v1" (Tc.Basic person); pv "v2" (Tc.Basic person); pv "@x2" (Tc.Basic product) |]
+      [| pe "@e3" 0 1 (Tc.Basic knows); pe "@e4" 1 2 (Tc.Basic purchased) |]
+  in
+  let proj m = Logical.Project (m, [ (Expr.Var "v1", "v1"); (Expr.Var "v2", "v2") ]) in
+  let plan = Logical.Union (proj (Logical.Match p1), proj (Logical.Match p2)) in
+  match Rp.com_sub_pattern.Rule.apply plan with
+  | Some (Logical.With_common { common = Logical.Match c; _ }) ->
+    Alcotest.(check int) "common is the KNOWS edge" 1 (Pattern.n_edges c)
+  | _ -> Alcotest.fail "com_sub_pattern did not fire"
+
+let test_field_trim () =
+  let wide =
+    Logical.Join
+      {
+        left = Logical.Match p_knows;
+        right = Logical.Match p_to_city;
+        keys = [];
+        kind = Logical.Inner;
+      }
+  in
+  let plan =
+    Logical.Group
+      ( wide,
+        [],
+        [ { Logical.agg_fn = Logical.Count; agg_arg = Some (Expr.Var "b"); agg_alias = "c" } ] )
+  in
+  let trimmed = Rp.field_trim plan in
+  (* a trimming Project must appear below the join on the KNOWS side *)
+  let has_trim =
+    Logical.fold
+      (fun acc n -> acc || match n with Logical.Project (Logical.Match _, _) -> true | _ -> false)
+      false trimmed
+  in
+  Alcotest.(check bool) "trim inserted" true has_trim
+
+let test_select_pushdown_join () =
+  let join =
+    Logical.Join
+      { left = Logical.Match p_knows; right = Logical.Match p_to_city; keys = []; kind = Logical.Inner }
+  in
+  let plan = Logical.Select (join, name_pred "a" "p0") in
+  match Rr.select_pushdown.Rule.apply plan with
+  | Some (Logical.Join { left = Logical.Select (Logical.Match _, _); _ }) -> ()
+  | _ -> Alcotest.fail "select not pushed to left input"
+
+let test_select_pushdown_project () =
+  let proj = Logical.Project (Logical.Match p_knows, [ (Expr.Var "a", "x") ]) in
+  let plan = Logical.Select (proj, name_pred "x" "p0") in
+  match Rr.select_pushdown.Rule.apply plan with
+  | Some (Logical.Project (Logical.Select (_, pred), _)) ->
+    Alcotest.(check (list string)) "substituted" [ "a" ] (Expr.free_tags pred)
+  | _ -> Alcotest.fail "select not pushed through project"
+
+let test_limit_pushdown () =
+  let plan = Logical.Limit (Logical.Order (Logical.Match p_knows, [ (Expr.Var "a", Logical.Asc) ], None), 3) in
+  match Rr.limit_pushdown.Rule.apply plan with
+  | Some (Logical.Order (_, _, Some 3)) -> ()
+  | _ -> Alcotest.fail "limit not fused into order"
+
+let test_aggregate_pushdown () =
+  let plan =
+    Logical.Group
+      ( Logical.Join
+          { left = Logical.Match p_knows; right = Logical.Match p_to_city; keys = []; kind = Logical.Inner },
+        [ (Expr.Var "a", "a") ],
+        [ { Logical.agg_fn = Logical.Count; agg_arg = Some (Expr.Var "b"); agg_alias = "c" } ] )
+  in
+  (* count arg reads the right side (field "b" of p_to_city)?? "b" is in both;
+     use the city-side alias to be unambiguous *)
+  let plan =
+    match plan with
+    | Logical.Group (j, ks, _) ->
+      Logical.Group
+        (j, ks, [ { Logical.agg_fn = Logical.Count; agg_arg = Some (Expr.Var "e"); agg_alias = "c" } ])
+    | _ -> assert false
+  in
+  match Rr.aggregate_pushdown.Rule.apply plan with
+  | Some (Logical.Group (Logical.Join { right = Logical.Group _; _ }, _, final)) ->
+    (match final with
+    | [ { Logical.agg_fn = Logical.Sum; _ } ] -> ()
+    | _ -> Alcotest.fail "final agg should be SUM of partials")
+  | _ -> Alcotest.fail "aggregate_pushdown did not fire"
+
+let test_fixpoint_terminates () =
+  let plan =
+    Logical.Select
+      ( Logical.Select (Logical.Match p_knows, name_pred "a" "p0"),
+        Expr.Binop (Expr.Gt, Expr.Prop ("b", "age"), Expr.Const (Value.Int 20)) )
+  in
+  let rewritten, applied = Rule.fixpoint (Rp.all @ Rr.all) plan in
+  Alcotest.(check bool) "some rules fired" true (applied <> []);
+  match rewritten with
+  | Logical.Match p ->
+    Alcotest.(check bool) "all preds inside" true
+      ((Pattern.vertex p 0).Pattern.v_pred <> None && (Pattern.vertex p 1).Pattern.v_pred <> None)
+  | other -> Alcotest.failf "unexpected result:\n%s" (Gopt_gir.Plan_printer.to_string other)
+
+(* --- CBO ---------------------------------------------------------------- *)
+
+let test_cbo_triangle () =
+  let plan, stats = Cbo.optimize gq Spec.graphscope p_triangle in
+  Alcotest.(check bool) "cost positive" true (plan.Cbo.cost > 0.0);
+  Alcotest.(check bool) "searched something" true (stats.Cbo.nodes_searched > 0);
+  Alcotest.(check int) "order binds 3 vertices" 3 (List.length (Cbo.plan_order plan));
+  let phys = Cbo.to_physical Spec.graphscope plan in
+  Alcotest.(check bool) "all aliases bound" true
+    (List.for_all
+       (fun a -> List.mem a (Physical.output_fields phys))
+       [ "a"; "b"; "c"; "e1"; "e2"; "e3" ])
+
+let test_cbo_spec_operator_choice () =
+  let plan, _ = Cbo.optimize gq Spec.graphscope p_triangle in
+  let phys_gs = Cbo.to_physical Spec.graphscope plan in
+  let phys_neo = Cbo.to_physical Spec.neo4j plan in
+  Alcotest.(check bool) "graphscope uses intersect" true (Physical.uses_intersect phys_gs);
+  Alcotest.(check bool) "neo4j never intersects" false (Physical.uses_intersect phys_neo)
+
+let test_cbo_pruning_preserves_plan () =
+  List.iter
+    (fun pat ->
+      let options = Cbo.default_options in
+      let on, _ = Cbo.optimize ~options gq Spec.graphscope pat in
+      let off, stats_off =
+        Cbo.optimize
+          ~options:{ options with Cbo.use_pruning = false; use_greedy_init = false }
+          gq Spec.graphscope pat
+      in
+      Alcotest.(check (float 1e-6)) "same optimal cost" off.Cbo.cost on.Cbo.cost;
+      Alcotest.(check int) "no pruning when disabled" 0 stats_off.Cbo.candidates_pruned)
+    [ p_triangle; p_knows ]
+
+let test_cbo_greedy_bound () =
+  let greedy = Cbo.greedy gq Spec.graphscope p_triangle in
+  let opt, _ = Cbo.optimize gq Spec.graphscope p_triangle in
+  Alcotest.(check bool) "optimal <= greedy" true (opt.Cbo.cost <= greedy.Cbo.cost +. 1e-9)
+
+let test_random_plan_valid () =
+  let rng = Gopt_util.Prng.create 11 in
+  for _ = 1 to 5 do
+    let phys, order = Baselines.random_plan rng Spec.graphscope p_triangle in
+    Alcotest.(check int) "order covers vertices" 3 (List.length order);
+    Alcotest.(check bool) "fields bound" true
+      (List.for_all (fun a -> List.mem a (Physical.output_fields phys)) [ "a"; "b"; "c" ])
+  done
+
+let test_planner_pipeline () =
+  let plan =
+    Logical.Select (Logical.Match p_to_city, name_pred "b" "c0")
+  in
+  let config = Planner.default_config () in
+  let phys, report = Planner.plan config gq plan in
+  Alcotest.(check bool) "rules applied" true (report.Planner.rules_applied <> []);
+  Alcotest.(check bool) "physical nonempty" true (Physical.operator_count phys > 0)
+
+let test_planner_invalid_pattern () =
+  (* (a:City)-[]->(b): City has no outgoing edges -> Empty after inference *)
+  let p =
+    Pattern.create [| pv "a" (Tc.Basic city); pv "b" Tc.All |] [| pe "e" 0 1 Tc.All |]
+  in
+  let config = Planner.default_config () in
+  let phys, report = Planner.plan config gq (Logical.Match p) in
+  Alcotest.(check int) "one invalid" 1 report.Planner.invalid_patterns;
+  match phys with
+  | Physical.Empty _ -> ()
+  | _ -> Alcotest.fail "expected Empty plan"
+
+let test_path_planner_splits () =
+  let p =
+    Pattern.create
+      [| pv "s" (Tc.Basic person); pv "t" (Tc.Basic person) |]
+      [| pe ~hops:(4, 4) "p" 0 1 (Tc.Basic knows) |]
+  in
+  let result = Path_planner.optimize gq Spec.graphscope p in
+  Alcotest.(check int) "alternatives = unsplit + 3 splits" 4 (List.length result.Path_planner.alternatives);
+  Alcotest.(check bool) "cost finite" true (Float.is_finite result.Path_planner.cost)
+
+let test_user_order_compile () =
+  let phys = Planner.compile_user_order Spec.graphscope p_triangle in
+  Alcotest.(check bool) "binds everything" true
+    (List.for_all (fun a -> List.mem a (Physical.output_fields phys)) [ "a"; "b"; "c" ])
+
+(* property: CBO plans on random connected patterns always bind all aliases *)
+let prop_cbo_complete =
+  QCheck.Test.make ~name:"cbo binds all pattern aliases" ~count:60 QCheck.small_int
+    (fun seed ->
+      let rng = Gopt_util.Prng.create seed in
+      let nv = 2 + Gopt_util.Prng.int rng 3 in
+      let vs =
+        Array.init nv (fun i ->
+            pv (Printf.sprintf "v%d" i) (if Gopt_util.Prng.bool rng then Tc.Basic person else Tc.All))
+      in
+      let es = ref [] in
+      for i = 1 to nv - 1 do
+        let j = Gopt_util.Prng.int rng i in
+        es := pe (Printf.sprintf "e%d" i) j i (if Gopt_util.Prng.bool rng then Tc.Basic knows else Tc.All) :: !es
+      done;
+      let p = Pattern.create vs (Array.of_list !es) in
+      let plan, _ = Cbo.optimize gq Spec.graphscope p in
+      let phys = Cbo.to_physical Spec.graphscope plan in
+      let fields = Physical.output_fields phys in
+      Array.for_all (fun v -> List.mem v.Pattern.v_alias fields) (Pattern.vertices p))
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "rbo",
+        [
+          Alcotest.test_case "filter into pattern" `Quick test_filter_into_pattern;
+          Alcotest.test_case "filter partial push" `Quick test_filter_into_pattern_partial;
+          Alcotest.test_case "join to pattern" `Quick test_join_to_pattern;
+          Alcotest.test_case "join to pattern blocked" `Quick test_join_to_pattern_blocked;
+          Alcotest.test_case "com sub pattern" `Quick test_com_sub_pattern;
+          Alcotest.test_case "field trim" `Quick test_field_trim;
+          Alcotest.test_case "select pushdown join" `Quick test_select_pushdown_join;
+          Alcotest.test_case "select pushdown project" `Quick test_select_pushdown_project;
+          Alcotest.test_case "limit pushdown" `Quick test_limit_pushdown;
+          Alcotest.test_case "aggregate pushdown" `Quick test_aggregate_pushdown;
+          Alcotest.test_case "fixpoint terminates" `Quick test_fixpoint_terminates;
+        ] );
+      ( "cbo",
+        [
+          Alcotest.test_case "triangle plan" `Quick test_cbo_triangle;
+          Alcotest.test_case "spec operator choice" `Quick test_cbo_spec_operator_choice;
+          Alcotest.test_case "pruning preserves optimum" `Quick test_cbo_pruning_preserves_plan;
+          Alcotest.test_case "greedy is an upper bound" `Quick test_cbo_greedy_bound;
+          Alcotest.test_case "random plans valid" `Quick test_random_plan_valid;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "pipeline" `Quick test_planner_pipeline;
+          Alcotest.test_case "invalid pattern" `Quick test_planner_invalid_pattern;
+          Alcotest.test_case "path planner splits" `Quick test_path_planner_splits;
+          Alcotest.test_case "user order compile" `Quick test_user_order_compile;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_cbo_complete ]);
+    ]

@@ -1,0 +1,226 @@
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Expr = Gopt_pattern.Expr
+module Canonical = Gopt_pattern.Canonical
+module Value = Gopt_graph.Value
+module Prng = Gopt_util.Prng
+open Fixtures
+
+let test_type_constraint () =
+  Alcotest.(check bool) "of_list empty" true (Tc.of_list ~universe:3 [] = None);
+  Alcotest.(check bool) "of_list single" true (Tc.of_list ~universe:3 [ 1 ] = Some (Tc.Basic 1));
+  Alcotest.(check bool) "of_list dup collapses" true
+    (Tc.of_list ~universe:3 [ 1; 1 ] = Some (Tc.Basic 1));
+  Alcotest.(check bool) "of_list full = All" true
+    (Tc.of_list ~universe:3 [ 0; 1; 2 ] = Some Tc.All);
+  Alcotest.(check bool) "union" true
+    (Tc.of_list ~universe:3 [ 2; 0 ] = Some (Tc.Union [ 0; 2 ]));
+  Alcotest.(check bool) "inter basic" true
+    (Tc.inter ~universe:3 (Tc.Union [ 0; 1 ]) (Tc.Union [ 1; 2 ]) = Some (Tc.Basic 1));
+  Alcotest.(check bool) "inter empty" true
+    (Tc.inter ~universe:3 (Tc.Basic 0) (Tc.Basic 1) = None);
+  Alcotest.(check bool) "inter all" true
+    (Tc.inter ~universe:3 Tc.All (Tc.Basic 2) = Some (Tc.Basic 2));
+  Alcotest.(check bool) "subset" true
+    (Tc.subset ~universe:3 (Tc.Basic 1) (Tc.Union [ 0; 1 ]));
+  Alcotest.(check bool) "not subset" false (Tc.subset ~universe:3 Tc.All (Tc.Basic 1))
+
+let test_expr_analysis () =
+  let e =
+    Expr.(
+      Binop
+        ( And,
+          Binop (Eq, Prop ("a", "name"), Const (Value.Str "x")),
+          Binop (Gt, Prop ("b", "age"), Var "limit") ))
+  in
+  Alcotest.(check (list string)) "free tags" [ "a"; "b"; "limit" ] (Expr.free_tags e);
+  Alcotest.(check int) "conjuncts" 2 (List.length (Expr.conjuncts e));
+  let rt = Expr.rename_tags (fun t -> t ^ "!") e in
+  Alcotest.(check (list string)) "renamed" [ "a!"; "b!"; "limit!" ] (Expr.free_tags rt)
+
+let test_const_fold () =
+  let e = Expr.(Binop (Add, Const (Value.Int 1), Const (Value.Int 2))) in
+  Alcotest.(check bool) "1+2=3" true (Expr.const_fold e = Expr.Const (Value.Int 3));
+  let e2 = Expr.(Binop (And, Const (Value.Bool true), Var "x")) in
+  Alcotest.(check bool) "true AND x = x" true (Expr.const_fold e2 = Expr.Var "x");
+  let e3 = Expr.(Binop (Lt, Const (Value.Int 1), Const (Value.Int 2))) in
+  Alcotest.(check bool) "1<2" true (Expr.const_fold e3 = Expr.Const (Value.Bool true));
+  let e4 = Expr.(In_list (Const (Value.Int 3), [ Value.Int 1; Value.Int 3 ])) in
+  Alcotest.(check bool) "3 in [1;3]" true (Expr.const_fold e4 = Expr.Const (Value.Bool true))
+
+let test_pattern_basics () =
+  Alcotest.(check int) "triangle nv" 3 (Pattern.n_vertices p_triangle);
+  Alcotest.(check int) "triangle ne" 3 (Pattern.n_edges p_triangle);
+  Alcotest.(check bool) "connected" true (Pattern.is_connected p_triangle);
+  Alcotest.(check int) "degree a" 2 (Pattern.degree p_triangle 0);
+  Alcotest.(check bool) "alias lookup" true (Pattern.vertex_of_alias p_triangle "b" = Some 1);
+  Alcotest.(check int) "incident edges of b" 2 (List.length (Pattern.incident_edges p_triangle 1))
+
+let test_pattern_validation () =
+  let v = pv "a" (Tc.Basic person) in
+  (try
+     ignore (Pattern.create [| v; v |] [||]);
+     Alcotest.fail "duplicate alias accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Pattern.create [| v |] [| pe "e" 0 0 (Tc.Basic knows) |]);
+     Alcotest.fail "self loop accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Pattern.create
+         [| pv "a" (Tc.Basic person); pv "b" (Tc.Basic person) |]
+         [| pe ~hops:(0, 3) "e" 0 1 (Tc.Basic knows) |]);
+    Alcotest.fail "bad hops accepted"
+  with Invalid_argument _ -> ()
+
+let test_remove_vertex () =
+  (* removing any triangle vertex leaves a connected single edge *)
+  List.iter
+    (fun v ->
+      match Pattern.remove_vertex p_triangle v with
+      | Some sub ->
+        Alcotest.(check int) "sub nv" 2 (Pattern.n_vertices sub);
+        Alcotest.(check int) "sub ne" 1 (Pattern.n_edges sub);
+        Alcotest.(check bool) "sub connected" true (Pattern.is_connected sub)
+      | None -> Alcotest.fail "triangle vertex removal failed")
+    [ 0; 1; 2 ];
+  (* path a->b->c: removing the middle disconnects -> None *)
+  let path =
+    Pattern.create
+      [| pv "a" (Tc.Basic person); pv "b" (Tc.Basic person); pv "c" (Tc.Basic person) |]
+      [| pe "e1" 0 1 (Tc.Basic knows); pe "e2" 1 2 (Tc.Basic knows) |]
+  in
+  Alcotest.(check bool) "middle removal invalid" true (Pattern.remove_vertex path 1 = None);
+  (match Pattern.remove_vertex path 2 with
+  | Some sub -> Alcotest.(check int) "end removal" 2 (Pattern.n_vertices sub)
+  | None -> Alcotest.fail "end removal failed");
+  (* single edge: removing an endpoint leaves the single-vertex pattern *)
+  match Pattern.remove_vertex p_knows 1 with
+  | Some sub ->
+    Alcotest.(check int) "single vertex" 1 (Pattern.n_vertices sub);
+    Alcotest.(check int) "no edges" 0 (Pattern.n_edges sub)
+  | None -> Alcotest.fail "endpoint removal failed"
+
+let test_sub_by_edges () =
+  let sub, vmap = Pattern.sub_by_edges p_triangle [ 0 ] in
+  Alcotest.(check int) "sub nv" 2 (Pattern.n_vertices sub);
+  Alcotest.(check int) "vmap len" 2 (Array.length vmap);
+  Alcotest.(check string) "alias preserved" "a" (Pattern.vertex sub 0).Pattern.v_alias
+
+let test_merge () =
+  (* p1: a->b (knows); p2: b->c (knows). merged: path of 2 edges *)
+  let p1 =
+    Pattern.create
+      [| pv "a" (Tc.Basic person); pv "b" (Tc.Basic person) |]
+      [| pe "e1" 0 1 (Tc.Basic knows) |]
+  in
+  let p2 =
+    Pattern.create
+      [| pv "b" (Tc.Basic person); pv "c" (Tc.Basic person) |]
+      [| pe "e2" 0 1 (Tc.Basic knows) |]
+  in
+  Alcotest.(check (list string)) "shared" [ "b" ] (Pattern.shared_aliases p1 p2);
+  let m = Pattern.merge p1 p2 in
+  Alcotest.(check int) "merged nv" 3 (Pattern.n_vertices m);
+  Alcotest.(check int) "merged ne" 2 (Pattern.n_edges m);
+  Alcotest.(check bool) "merged connected" true (Pattern.is_connected m)
+
+let test_split_path_edge () =
+  let p =
+    Pattern.create
+      [| pv "s" (Tc.Basic person); pv "t" (Tc.Basic person) |]
+      [| pe ~hops:(6, 6) "p" 0 1 (Tc.Basic knows) |]
+  in
+  let sp = Pattern.split_path_edge p ~eid:0 ~at:2 ~mid_alias:"m" in
+  Alcotest.(check int) "split nv" 3 (Pattern.n_vertices sp);
+  Alcotest.(check int) "split ne" 2 (Pattern.n_edges sp);
+  let e1 = Pattern.edge sp 0 and e2 = Pattern.edge sp 1 in
+  Alcotest.(check bool) "hops 2" true (e1.Pattern.e_hops = Some (2, 2));
+  Alcotest.(check bool) "hops 4" true (e2.Pattern.e_hops = Some (4, 4))
+
+let test_canonical_triangle_direction () =
+  (* cyclic triangle vs acyclic triangle must differ *)
+  let cyc =
+    Pattern.create
+      [| pv "a" (Tc.Basic person); pv "b" (Tc.Basic person); pv "c" (Tc.Basic person) |]
+      [| pe "e1" 0 1 (Tc.Basic knows); pe "e2" 1 2 (Tc.Basic knows); pe "e3" 2 0 (Tc.Basic knows) |]
+  in
+  Alcotest.(check bool) "cyclic <> acyclic" false (Canonical.iso_equal cyc p_triangle);
+  Alcotest.(check bool) "self equal" true (Canonical.iso_equal cyc cyc)
+
+(* property: iso_code invariant under vertex relabeling *)
+let prop_iso_invariance =
+  QCheck.Test.make ~name:"iso_code permutation invariant" ~count:100
+    QCheck.(pair small_int (int_range 2 5))
+    (fun (seed, nv) ->
+      let rng = Prng.create seed in
+      (* random connected pattern over nv vertices *)
+      let vs =
+        Array.init nv (fun i ->
+            pv (Printf.sprintf "v%d" i) (if Prng.bool rng then Tc.Basic person else Tc.All))
+      in
+      let edges = ref [] in
+      for i = 1 to nv - 1 do
+        let j = Prng.int rng i in
+        let src, dst = if Prng.bool rng then (i, j) else (j, i) in
+        edges :=
+          pe
+            ~directed:(Prng.bool rng)
+            (Printf.sprintf "e%d" i) src dst
+            (if Prng.bool rng then Tc.Basic knows else Tc.All)
+          :: !edges
+      done;
+      let p = Pattern.create vs (Array.of_list (List.rev !edges)) in
+      (* relabel: rotate vertex indices *)
+      let perm i = (i + 1) mod nv in
+      let vs' = Array.init nv (fun i -> vs.((i + nv - 1) mod nv)) in
+      let es' =
+        Array.map
+          (fun (e : Pattern.edge) ->
+            { e with Pattern.e_src = perm e.Pattern.e_src; e_dst = perm e.Pattern.e_dst })
+          (Pattern.edges p)
+      in
+      let p' = Pattern.create vs' es' in
+      Canonical.iso_code p = Canonical.iso_code p')
+
+let prop_keyed_code_identity =
+  QCheck.Test.make ~name:"keyed_code equal iff same structure" ~count:50 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let con = if Prng.bool rng then Tc.Basic person else Tc.Union [ person; city ] in
+      let p1 =
+        Pattern.create
+          [| pv "a" con; pv "b" (Tc.Basic person) |]
+          [| pe "e" 0 1 (Tc.Basic knows) |]
+      in
+      let p2 =
+        Pattern.create
+          [| pv "b" (Tc.Basic person); pv "a" con |]
+          [| pe "e" 1 0 (Tc.Basic knows) |]
+      in
+      Canonical.keyed_code p1 = Canonical.keyed_code p2)
+
+let () =
+  Alcotest.run "pattern"
+    [
+      ( "type_constraint",
+        [ Alcotest.test_case "algebra" `Quick test_type_constraint ] );
+      ( "expr",
+        [
+          Alcotest.test_case "analysis" `Quick test_expr_analysis;
+          Alcotest.test_case "const fold" `Quick test_const_fold;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "basics" `Quick test_pattern_basics;
+          Alcotest.test_case "validation" `Quick test_pattern_validation;
+          Alcotest.test_case "remove vertex" `Quick test_remove_vertex;
+          Alcotest.test_case "sub by edges" `Quick test_sub_by_edges;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "split path edge" `Quick test_split_path_edge;
+          Alcotest.test_case "canonical direction" `Quick test_canonical_triangle_direction;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_iso_invariance; prop_keyed_code_identity ] );
+    ]

@@ -1,0 +1,185 @@
+(* System-level property tests: invariants that tie the whole stack
+   together on randomized inputs. *)
+
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Expr = Gopt_pattern.Expr
+module Logical = Gopt_gir.Logical
+module Planner = Gopt_opt.Planner
+module Physical = Gopt_opt.Physical
+module Spec = Gopt_opt.Physical_spec
+module Codec = Gopt_opt.Plan_codec
+module Engine = Gopt_exec.Engine
+module Batch = Gopt_exec.Batch
+module Rval = Gopt_exec.Rval
+module Glogue = Gopt_glogue.Glogue
+module Gq = Gopt_glogue.Glogue_query
+module Mc = Gopt_glogue.Motif_counter
+module Value = Gopt_graph.Value
+module Prng = Gopt_util.Prng
+open Fixtures
+
+let glogue = Glogue.build graph
+let gq = Gq.create glogue
+
+let row_set batch =
+  let rows = ref [] in
+  Batch.iter
+    (fun row ->
+      rows :=
+        String.concat "|"
+          (List.sort String.compare
+             (List.map2
+                (fun f v -> f ^ "=" ^ Format.asprintf "%a" (Rval.pp graph) v)
+                (Batch.fields batch) (Array.to_list row)))
+        :: !rows)
+    batch;
+  List.sort String.compare !rows
+
+(* random connected pattern over the fixture schema *)
+let random_pattern rng =
+  let nv = 2 + Prng.int rng 2 in
+  let vs =
+    Array.init nv (fun i ->
+        pv (Printf.sprintf "v%d" i)
+          (match Prng.int rng 3 with
+          | 0 -> Tc.All
+          | 1 -> Tc.Basic person
+          | _ -> (
+            match Tc.of_list ~universe:3 [ person; Prng.int rng 3 ] with
+            | Some c -> c
+            | None -> Tc.All)))
+  in
+  let es = ref [] in
+  for i = 1 to nv - 1 do
+    let j = Prng.int rng i in
+    let src, dst = if Prng.bool rng then (i, j) else (j, i) in
+    es :=
+      pe ~directed:(Prng.bool rng) (Printf.sprintf "e%d" i) src dst
+        (if Prng.bool rng then Tc.Basic knows else Tc.All)
+      :: !es
+  done;
+  Pattern.create vs (Array.of_list !es)
+
+(* random relational stack over a pattern *)
+let random_logical rng =
+  let p = random_pattern rng in
+  let fields = Logical.output_fields (Logical.Match p) in
+  let field () = List.nth fields (Prng.int rng (List.length fields)) in
+  let plan = ref (Logical.Match p) in
+  for _ = 1 to Prng.int rng 3 do
+    match Prng.int rng 6 with
+    | 0 ->
+      plan :=
+        Logical.Select
+          ( !plan,
+            Expr.Binop
+              (Expr.Geq, Expr.Prop (field (), "age"), Expr.Const (Value.Int (18 + Prng.int rng 8)))
+          )
+    | 1 ->
+      let keep = List.filteri (fun i _ -> i <= Prng.int rng (List.length fields)) fields in
+      let keep = if keep = [] then [ List.hd fields ] else keep in
+      plan := Logical.Project (!plan, List.map (fun f -> (Expr.Var f, f)) keep)
+    | 2 -> plan := Logical.Dedup (!plan, [])
+    | 3 ->
+      plan :=
+        Logical.Order
+          (!plan, [ (Expr.Var (List.hd (Logical.output_fields !plan)), Logical.Asc) ], None)
+    | 4 -> plan := Logical.Limit (!plan, 1 + Prng.int rng 20)
+    | _ ->
+      plan :=
+        Logical.Group
+          ( !plan,
+            [],
+            [ { Logical.agg_fn = Logical.Count; agg_arg = None; agg_alias = "c" } ] )
+  done;
+  !plan
+
+let run_with config plan =
+  let phys, _ = Planner.plan config gq plan in
+  let batch, _ = Engine.run graph phys in
+  batch
+
+(* LIMIT/SKIP over unordered (or tie-broken) input keep an arbitrary subset,
+   which different plans may legitimately resolve differently — compare row
+   multisets only for plans without them. *)
+let rec deterministic_result = function
+  | Logical.Limit _ | Logical.Skip _ -> false
+  | Logical.Unwind (x, _, _) -> deterministic_result x
+  | Logical.Match _ | Logical.Common_ref -> true
+  | Logical.Pattern_cont (x, _)
+  | Logical.Select (x, _)
+  | Logical.Project (x, _)
+  | Logical.Group (x, _, _)
+  | Logical.Order (x, _, _)
+  | Logical.Dedup (x, _)
+  | Logical.All_distinct (x, _) -> deterministic_result x
+  | Logical.With_common { common; left; right; _ } ->
+    deterministic_result common && deterministic_result left && deterministic_result right
+  | Logical.Join { left; right; _ } | Logical.Union (left, right) ->
+    deterministic_result left && deterministic_result right
+
+let prop_pipeline_preserves_semantics =
+  QCheck.Test.make ~name:"full pipeline = naive execution" ~count:120 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let plan = random_logical rng in
+      QCheck.assume (deterministic_result plan);
+      let naive =
+        {
+          (Planner.default_config ()) with
+          Planner.enable_rbo = false;
+          enable_field_trim = false;
+          enable_type_inference = false;
+          enable_cbo = false;
+        }
+      in
+      let full = Planner.default_config () in
+      row_set (run_with naive plan) = row_set (run_with full plan))
+
+let prop_codec_preserves_execution =
+  QCheck.Test.make ~name:"decode (encode plan) executes identically" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let plan = random_logical rng in
+      QCheck.assume (deterministic_result plan);
+      let phys, _ = Planner.plan (Planner.default_config ()) gq plan in
+      let transferred = Codec.decode (Codec.encode phys) in
+      let a, _ = Engine.run graph phys in
+      let b, _ = Engine.run graph transferred in
+      row_set a = row_set b)
+
+(* Union-typed small patterns are estimated EXACTLY by expanding over basic
+   type combinations (the GLogueQuery refinement for arbitrary constraints) *)
+let prop_union_estimation_exact =
+  QCheck.Test.make ~name:"estimator exact on small union patterns" ~count:150
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let p = random_pattern rng in
+      QCheck.assume (Pattern.n_vertices p <= 3);
+      let est = Gq.get_freq gq p in
+      let brute = Mc.count_homomorphisms graph p in
+      Float.abs (est -. brute) < 1e-6)
+
+let prop_all_specs_same_results =
+  QCheck.Test.make ~name:"neo4j and graphscope plans agree" ~count:80 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let plan = random_logical rng in
+      QCheck.assume (deterministic_result plan);
+      let neo = Planner.default_config ~spec:Spec.neo4j () in
+      let gs = Planner.default_config ~spec:Spec.graphscope () in
+      row_set (run_with neo plan) = row_set (run_with gs plan))
+
+let () =
+  Alcotest.run "system"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_pipeline_preserves_semantics;
+            prop_codec_preserves_execution;
+            prop_union_estimation_exact;
+            prop_all_specs_same_results;
+          ] );
+    ]

@@ -1,0 +1,147 @@
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Ti = Gopt_typeinf.Type_inference
+module Prng = Gopt_util.Prng
+open Fixtures
+
+(* Paper Fig. 5: (v1:ANY)-[]->(v2:ANY)-[]->(v3:City standing for Place) infers
+   v2 in {Person, Product} and v1 = Person. *)
+let test_paper_example () =
+  let p =
+    Pattern.create
+      [| pv "v1" Tc.All; pv "v2" Tc.All; pv "v3" (Tc.Basic city) |]
+      [| pe "e1" 0 1 Tc.All; pe "e2" 1 2 Tc.All |]
+  in
+  match Ti.infer schema p with
+  | Ti.Invalid -> Alcotest.fail "expected valid inference"
+  | Ti.Inferred (p', _) ->
+    let v1 = (Pattern.vertex p' 0).Pattern.v_con in
+    let v2 = (Pattern.vertex p' 1).Pattern.v_con in
+    Alcotest.(check bool) "v1 = Person" true (v1 = Tc.Basic person);
+    Alcotest.(check bool) "v2 = Person|Product" true
+      (v2 = Tc.Union (List.sort Int.compare [ person; product ]));
+    (* e2 narrowed to LIVES_IN | PRODUCED_IN *)
+    let e2 = (Pattern.edge p' 1).Pattern.e_con in
+    Alcotest.(check bool) "e2 narrowed" true
+      (e2 = Tc.Union (List.sort Int.compare [ lives_in; produced_in ]));
+    (* e1 narrowed to KNOWS | PURCHASED *)
+    let e1 = (Pattern.edge p' 0).Pattern.e_con in
+    Alcotest.(check bool) "e1 narrowed" true
+      (e1 = Tc.Union (List.sort Int.compare [ knows; purchased ]))
+
+let test_invalid_pattern () =
+  (* City has no outgoing edges in the schema *)
+  let p =
+    Pattern.create
+      [| pv "a" (Tc.Basic city); pv "b" Tc.All |]
+      [| pe "e" 0 1 Tc.All |]
+  in
+  Alcotest.(check bool) "invalid" true (Ti.infer schema p = Ti.Invalid)
+
+let test_already_typed_unchanged () =
+  match Ti.infer schema p_knows with
+  | Ti.Invalid -> Alcotest.fail "valid pattern flagged invalid"
+  | Ti.Inferred (p', _) ->
+    Alcotest.(check bool) "a unchanged" true
+      ((Pattern.vertex p' 0).Pattern.v_con = Tc.Basic person);
+    Alcotest.(check bool) "edge unchanged" true
+      ((Pattern.edge p' 0).Pattern.e_con = Tc.Basic knows)
+
+let test_undirected_edge () =
+  (* (a:City)-[ANY]-(b:ANY) undirected: City side can only be the target, so
+     b is whatever can reach City: Person or Product *)
+  let p =
+    Pattern.create
+      [| pv "a" (Tc.Basic city); pv "b" Tc.All |]
+      [| pe ~directed:false "e" 0 1 Tc.All |]
+  in
+  match Ti.infer schema p with
+  | Ti.Invalid -> Alcotest.fail "undirected should be satisfiable"
+  | Ti.Inferred (p', _) ->
+    let b = (Pattern.vertex p' 1).Pattern.v_con in
+    Alcotest.(check bool) "b = Person|Product" true
+      (b = Tc.Union (List.sort Int.compare [ person; product ]))
+
+let test_unordered_same_result () =
+  let p =
+    Pattern.create
+      [| pv "v1" Tc.All; pv "v2" Tc.All; pv "v3" (Tc.Basic city) |]
+      [| pe "e1" 0 1 Tc.All; pe "e2" 1 2 Tc.All |]
+  in
+  match Ti.infer ~prioritized:true schema p, Ti.infer ~prioritized:false schema p with
+  | Ti.Inferred (a, _), Ti.Inferred (b, _) ->
+    Alcotest.(check string) "same result"
+      (Gopt_pattern.Canonical.keyed_code a)
+      (Gopt_pattern.Canonical.keyed_code b)
+  | _ -> Alcotest.fail "both orders should infer"
+
+let test_var_length_untouched () =
+  let p =
+    Pattern.create
+      [| pv "a" (Tc.Basic person); pv "b" Tc.All |]
+      [| pe ~hops:(3, 3) "e" 0 1 (Tc.Basic knows) |]
+  in
+  match Ti.infer schema p with
+  | Ti.Invalid -> Alcotest.fail "var length should not invalidate"
+  | Ti.Inferred (p', _) ->
+    Alcotest.(check bool) "b untouched" true ((Pattern.vertex p' 1).Pattern.v_con = Tc.All)
+
+(* Soundness property: inference never removes a type assignment that is
+   satisfiable against the schema. *)
+let prop_soundness =
+  QCheck.Test.make ~name:"inference soundness" ~count:200 QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let n_v = Gopt_graph.Schema.n_vtypes schema in
+      let rand_con () =
+        match Prng.int rng 3 with
+        | 0 -> Tc.All
+        | 1 -> Tc.Basic (Prng.int rng n_v)
+        | _ -> (
+          match Tc.of_list ~universe:n_v [ Prng.int rng n_v; Prng.int rng n_v ] with
+          | Some c -> c
+          | None -> Tc.All)
+      in
+      let nv = 2 + Prng.int rng 3 in
+      let vs = Array.init nv (fun i -> pv (Printf.sprintf "v%d" i) (rand_con ())) in
+      let es = ref [] in
+      for i = 1 to nv - 1 do
+        let j = Prng.int rng i in
+        let src, dst = if Prng.bool rng then (i, j) else (j, i) in
+        es := pe (Printf.sprintf "e%d" i) src dst Tc.All :: !es
+      done;
+      let p = Pattern.create vs (Array.of_list !es) in
+      (* enumerate all concrete vertex-type assignments of the original *)
+      let rec assignments i acc =
+        if i = nv then [ Array.of_list (List.rev acc) ]
+        else
+          List.concat_map
+            (fun t -> assignments (i + 1) (t :: acc))
+            (Tc.to_list ~universe:n_v (Pattern.vertex p i).Pattern.v_con)
+      in
+      let sat = List.filter (Ti.assignment_satisfiable schema p) (assignments 0 []) in
+      match Ti.infer schema p with
+      | Ti.Invalid -> sat = []
+      | Ti.Inferred (p', _) ->
+        (* every satisfiable assignment survives in the narrowed constraints *)
+        List.for_all
+          (fun asg ->
+            Array.for_all Fun.id
+              (Array.mapi
+                 (fun i t -> Tc.mem ~universe:n_v (Pattern.vertex p' i).Pattern.v_con t)
+                 asg))
+          sat)
+
+let () =
+  Alcotest.run "typeinf"
+    [
+      ( "algorithm1",
+        [
+          Alcotest.test_case "paper example (fig 5)" `Quick test_paper_example;
+          Alcotest.test_case "invalid pattern" `Quick test_invalid_pattern;
+          Alcotest.test_case "already typed" `Quick test_already_typed_unchanged;
+          Alcotest.test_case "undirected" `Quick test_undirected_edge;
+          Alcotest.test_case "ordering irrelevant" `Quick test_unordered_same_result;
+          Alcotest.test_case "var length untouched" `Quick test_var_length_untouched;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_soundness ]);
+    ]
