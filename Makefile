@@ -1,0 +1,16 @@
+# Tier-1 verification gate: everything must build, every test suite must
+# pass, and the bench harness must execute one LDBC query end-to-end on the
+# pipelined engine and print its per-operator trace.
+.PHONY: check build test trace
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+trace:
+	GOPT_BENCH_PERSONS=300 GOPT_BENCH_BUDGET=5 dune exec bench/main.exe -- trace
+
+check: build test trace
+	@echo "check: OK"

@@ -606,6 +606,26 @@ let micro () =
         results)
     tests
 
+(* --------------------------------------------------------------- trace -- *)
+
+(* Per-operator profiling smoke test: run one LDBC query on the pipelined
+   engine and print its EXPLAIN ANALYZE trace, then compare both engines'
+   peak live rows. Part of the tier-1 `make check` gate. *)
+let trace () =
+  let session = H.ldbc_session H.bench_persons in
+  let graph = Gopt.Session.graph session in
+  let q = Queries.find Queries.ic "IC6" in
+  Printf.printf "\n## Per-operator trace: %s (%s)\n%s\n\n" q.Queries.name
+    q.Queries.description q.Queries.cypher;
+  let out, report = Gopt.explain_analyze_cypher session q.Queries.cypher in
+  print_endline report;
+  let _, mat = Engine.run_materialized graph out.Gopt.physical in
+  Printf.printf
+    "\npipelined peak %d live rows vs materialized peak %d (%.1fx less memory-resident)\n"
+    out.Gopt.exec_stats.Engine.peak_rows mat.Engine.peak_rows
+    (float_of_int mat.Engine.peak_rows
+    /. float_of_int (max 1 out.Gopt.exec_stats.Engine.peak_rows))
+
 (* ---------------------------------------------------------------- main -- *)
 
 let experiments =
@@ -626,6 +646,7 @@ let experiments =
     ("ablation_typeinf", ablation_typeinf);
     ("ablation_intersect", ablation_intersect);
     ("ablation_selectivity", ablation_selectivity);
+    ("trace", trace);
     ("micro", micro);
   ]
 

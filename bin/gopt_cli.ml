@@ -10,8 +10,8 @@
 
 open Cmdliner
 
-let run_main dataset persons accounts seed lang planner backend explain stats_only workload
-    load save query =
+let run_main dataset persons accounts seed lang planner backend explain analyze stats_only
+    workload load save query =
   let graph =
     match load with
     | Some path -> Gopt_graph.Graph_io.load path
@@ -78,6 +78,10 @@ let run_main dataset persons accounts seed lang planner backend explain stats_on
         (Gopt_exec.Batch.n_rows out.Gopt.result)
         dt out.Gopt.exec_stats.Gopt_exec.Engine.intermediate_rows
         out.Gopt.exec_stats.Gopt_exec.Engine.edges_touched;
+      if analyze then begin
+        print_endline "-- per-operator trace (rows in/out, self cpu time):";
+        print_endline (Gopt.render_trace out)
+      end;
       0
     end
   end
@@ -91,6 +95,8 @@ let planner = Arg.(value & opt string "gopt" & info [ "planner" ] ~doc:"gopt, cy
 let backend =
   Arg.(value & opt string "graphscope" & info [ "backend" ] ~doc:"graphscope or neo4j")
 let explain = Arg.(value & flag & info [ "explain" ] ~doc:"show plans instead of executing")
+let analyze =
+  Arg.(value & flag & info [ "analyze" ] ~doc:"after executing, print the per-operator trace (EXPLAIN ANALYZE)")
 let stats_only = Arg.(value & flag & info [ "stats" ] ~doc:"print dataset statistics and exit")
 let workload =
   Arg.(value & opt (some string) None & info [ "workload" ] ~doc:"run a named workload query (IC1..BI18, QR, QT, QC)")
@@ -106,6 +112,6 @@ let cmd =
     (Cmd.info "gopt" ~doc)
     Term.(
       const run_main $ dataset $ persons $ accounts $ seed $ lang $ planner $ backend
-      $ explain $ stats_only $ workload $ load_file $ save_file $ query)
+      $ explain $ analyze $ stats_only $ workload $ load_file $ save_file $ query)
 
 let () = exit (Cmd.eval' cmd)

@@ -69,6 +69,22 @@ let plan_cypher ?params ?config s src =
   let config = match config with Some c -> c | None -> Planner.default_config () in
   Planner.plan config s.Session.gq (cypher_to_gir ?params s src)
 
+let render_trace (o : outcome) =
+  match o.exec_stats.Engine.op_trace with
+  | Some tr -> Gopt_exec.Op_trace.to_string tr
+  | None -> "(no per-operator trace recorded)"
+
+let explain_analyze_cypher ?params ?config ?profile ?budget s src =
+  let o = run_cypher ?params ?config ?profile ?budget s src in
+  let txt =
+    Format.asprintf "@[<v>== physical ==@,%a@,== execution ==@,%s@,%d rows, %d edges touched, peak %d live rows@]"
+      (Physical.pp ~schema:(Session.schema s))
+      o.physical (render_trace o)
+      (Batch.n_rows o.result)
+      o.exec_stats.Engine.edges_touched o.exec_stats.Engine.peak_rows
+  in
+  (o, txt)
+
 let explain_cypher ?params ?config s src =
   let physical, report = plan_cypher ?params ?config s src in
   let schema = Session.schema s in

@@ -80,6 +80,21 @@ val explain_cypher :
 (** Human-readable report: input logical plan, optimized logical plan,
     applied rules, and the physical plan. *)
 
+val render_trace : outcome -> string
+(** EXPLAIN ANALYZE-style rendering of the outcome's per-operator trace
+    (rows in/out and self time per operator). *)
+
+val explain_analyze_cypher :
+  ?params:(string * Gopt_graph.Value.t list) list ->
+  ?config:Gopt_opt.Planner.config ->
+  ?profile:Gopt_exec.Engine.profile ->
+  ?budget:float ->
+  Session.t ->
+  string ->
+  outcome * string
+(** Optimize {e and} execute, returning the outcome together with a report
+    combining the physical plan with the measured per-operator trace. *)
+
 val cypher_to_gir :
   ?params:(string * Gopt_graph.Value.t list) list ->
   Session.t ->

@@ -16,8 +16,15 @@ let create field_list =
 let fields t = t.field_list
 let has_field t f = Hashtbl.mem t.index f
 
+let pos_opt t f = Hashtbl.find_opt t.index f
+
 let pos t f =
-  match Hashtbl.find_opt t.index f with Some i -> i | None -> raise Not_found
+  match Hashtbl.find_opt t.index f with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Batch.pos: no field %S in batch [%s]" f
+         (String.concat "; " t.field_list))
 
 let n_rows t = Gopt_util.Vec.length t.rows
 let n_fields t = List.length t.field_list

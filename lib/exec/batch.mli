@@ -15,7 +15,12 @@ val fields : t -> string list
 val has_field : t -> string -> bool
 
 val pos : t -> string -> int
-(** Column position of a field; raises [Not_found]. *)
+(** Column position of a field; raises [Invalid_argument] naming the missing
+    field and the batch's layout (planner/engine mismatches are bugs and
+    should be diagnosable). *)
+
+val pos_opt : t -> string -> int option
+(** Total variant, for optional-field lookups. *)
 
 val n_rows : t -> int
 val n_fields : t -> int

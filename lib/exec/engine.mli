@@ -1,39 +1,54 @@
 (** The execution engine: a physical-plan interpreter over the property
     graph store.
 
-    One interpreter executes the plans of every backend profile — exactly as
-    the paper runs GOpt plans and Neo4j plans on both Neo4j and GraphScope —
-    but the {e profile} controls the accounting: the GraphScope profile
-    simulates a distributed dataflow by counting every materialized
-    intermediate row as communication (the paper's communication-cost
-    definition), while the Neo4j profile is a single-machine pipeline with no
-    communication. Benchmarks combine wall-clock time with the simulated
-    communication volume (see EXPERIMENTS.md).
+    One engine executes the plans of every backend profile — exactly as the
+    paper runs GOpt plans and Neo4j plans on both Neo4j and GraphScope — but
+    the {e profile} controls the accounting: the GraphScope profile simulates
+    a distributed dataflow by counting every produced intermediate row as
+    communication (the paper's communication-cost definition), while the
+    Neo4j profile is a single-machine pipeline with no communication.
+    Benchmarks combine wall-clock time with the simulated communication
+    volume (see EXPERIMENTS.md).
 
-    Execution is batch-at-a-time: each operator materializes its output.
+    Execution is push-based and pipelined: each {!Gopt_opt.Physical.t} node
+    compiles to an operator with consume/close callbacks and rows flow
+    through in fixed-size chunks, materializing only at pipeline breakers
+    (see {!Gopt_opt.Physical.pipeline_role}). [LIMIT] propagates a stop
+    signal upstream so scans and expansions terminate early, and every run
+    records a per-operator {!Op_trace.t} on {!stats.op_trace}. The original
+    batch-at-a-time interpreter survives as {!run_materialized}, the
+    semantic oracle for differential tests.
+
     All pattern operators implement homomorphism semantics; Cypher's
     no-repeated-edge semantics is realized by the AllDistinct operator
     (paper Remark 3.1). *)
 
-type profile = {
+type profile = Op_trace.profile = {
   prof_name : string;
   count_comm : bool;
-      (** Count materialized intermediate rows as simulated communication. *)
+      (** Count produced intermediate rows as simulated communication. *)
 }
 
 val neo4j_profile : profile
 val graphscope_profile : profile
 
-type stats = {
+type stats = Op_trace.stats = {
   mutable operators : int;  (** Operators executed. *)
-  mutable intermediate_rows : int;  (** Total rows materialized across operators. *)
+  mutable intermediate_rows : int;  (** Total rows produced across operators. *)
   mutable intermediate_cells : int;  (** Rows weighted by width (FieldTrim effect). *)
   mutable comm_rows : int;  (** Simulated shuffled rows (distributed profiles). *)
   mutable comm_cells : int;
       (** Shuffled rows weighted by row width — the simulated network volume
           (what FieldTrim reduces). *)
   mutable edges_touched : int;  (** Adjacency entries visited by expansions. *)
-  mutable peak_rows : int;  (** Largest single materialized batch. *)
+  mutable peak_rows : int;
+      (** Maximum simultaneously-live materialized rows. On pipelined plans
+          this reflects breaker state plus accumulated results and drops
+          well below the materialized path's peak. *)
+  mutable live_rows : int;  (** Current live rows (internal counter). *)
+  mutable op_trace : Op_trace.t option;
+      (** Per-operator trace of the last run ({!run} fills it in;
+          {!run_materialized} leaves it [None]). *)
 }
 
 exception Timeout
@@ -46,4 +61,16 @@ val run :
   Gopt_graph.Property_graph.t ->
   Gopt_opt.Physical.t ->
   Batch.t * stats
-(** Execute a plan. [profile] defaults to {!graphscope_profile}. *)
+(** Execute a plan on the pipelined engine. [profile] defaults to
+    {!graphscope_profile}. *)
+
+val run_materialized :
+  ?profile:profile ->
+  ?budget:float ->
+  Gopt_graph.Property_graph.t ->
+  Gopt_opt.Physical.t ->
+  Batch.t * stats
+(** Execute a plan on the materialized batch-at-a-time reference engine
+    (every operator fully materializes its output; no per-operator trace).
+    Same results as {!run} on every plan; used as the oracle in
+    differential tests. *)

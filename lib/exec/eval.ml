@@ -3,9 +3,7 @@ module Value = Gopt_graph.Value
 module Expr = Gopt_pattern.Expr
 
 let lookup_of_row batch row tag =
-  match Batch.pos batch tag with
-  | i -> Some row.(i)
-  | exception Not_found -> None
+  match Batch.pos_opt batch tag with Some i -> Some row.(i) | None -> None
 
 let num_binop op x y =
   match x, y with

@@ -1,0 +1,103 @@
+type t = {
+  name : string;
+  mutable rows_in : int;
+  mutable rows_out : int;
+  mutable time_s : float;
+  mutable children : t list;
+}
+
+let make name children = { name; rows_in = 0; rows_out = 0; time_s = 0.0; children }
+
+type profile = { prof_name : string; count_comm : bool }
+
+let neo4j_profile = { prof_name = "neo4j"; count_comm = false }
+let graphscope_profile = { prof_name = "graphscope"; count_comm = true }
+
+type stats = {
+  mutable operators : int;
+  mutable intermediate_rows : int;
+  mutable intermediate_cells : int;
+  mutable comm_rows : int;
+  mutable comm_cells : int;
+  mutable edges_touched : int;
+  mutable peak_rows : int;
+  mutable live_rows : int;
+  mutable op_trace : t option;
+}
+
+let fresh_stats () =
+  {
+    operators = 0;
+    intermediate_rows = 0;
+    intermediate_cells = 0;
+    comm_rows = 0;
+    comm_cells = 0;
+    edges_touched = 0;
+    peak_rows = 0;
+    live_rows = 0;
+    op_trace = None;
+  }
+
+exception Timeout
+
+(* --- live-row accounting (peak_rows = max simultaneously-live rows) ------- *)
+
+let live_add st n =
+  st.live_rows <- st.live_rows + n;
+  if st.live_rows > st.peak_rows then st.peak_rows <- st.live_rows
+
+let live_sub st n = st.live_rows <- st.live_rows - n
+
+(* --- self-time clock ------------------------------------------------------ *)
+
+(* Profiler-style attribution: exactly one trace node owns the clock at any
+   moment; entering a nested operator frame charges the elapsed slice to the
+   previous owner. Sampling happens once per chunk, not per row, so the
+   overhead is negligible at the default chunk size. *)
+
+type clock = { mutable mark : float; mutable owner : t option }
+
+let clock () = { mark = 0.0; owner = None }
+
+let charge clk now =
+  match clk.owner with
+  | Some tr -> tr.time_s <- tr.time_s +. (now -. clk.mark)
+  | None -> ()
+
+let timed clk tr f =
+  let now = Sys.time () in
+  charge clk now;
+  let prev = clk.owner in
+  clk.owner <- Some tr;
+  clk.mark <- now;
+  Fun.protect
+    ~finally:(fun () ->
+      let now = Sys.time () in
+      charge clk now;
+      clk.owner <- prev;
+      clk.mark <- now)
+    f
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let fmt_time s =
+  if s >= 1.0 then Printf.sprintf "%.2fs"
+      s
+  else if s >= 1e-3 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.0fus" (s *. 1e6)
+
+let pp ppf tr =
+  let rec go indent tr =
+    Format.fprintf ppf "%s%s  (rows in=%d out=%d, time=%s)@,"
+      (String.make (2 * indent) ' ')
+      tr.name tr.rows_in tr.rows_out (fmt_time tr.time_s);
+    List.iter (go (indent + 1)) tr.children
+  in
+  Format.fprintf ppf "@[<v>";
+  go 0 tr;
+  Format.fprintf ppf "@]"
+
+let to_string tr = Format.asprintf "%a" pp tr
+
+let rec total_time tr =
+  tr.time_s +. List.fold_left (fun acc c -> acc +. total_time c) 0.0 tr.children

@@ -1,0 +1,70 @@
+(** Per-operator execution traces and the shared execution accounting.
+
+    A trace mirrors the physical plan tree: one node per operator, carrying
+    rows-in / rows-out and the operator's {e self} CPU time (time spent in
+    nested operators is attributed to those operators, profiler-style). The
+    pipelined engine fills one in on every run and hangs it off
+    {!stats.op_trace}; {!pp} renders it [EXPLAIN ANALYZE]-style. *)
+
+type t = {
+  name : string;  (** Single-line operator description. *)
+  mutable rows_in : int;
+  mutable rows_out : int;
+  mutable time_s : float;  (** Self CPU seconds (exclusive of children). *)
+  mutable children : t list;
+}
+
+val make : string -> t list -> t
+
+type profile = {
+  prof_name : string;
+  count_comm : bool;
+      (** Count produced intermediate rows as simulated communication. *)
+}
+
+val neo4j_profile : profile
+val graphscope_profile : profile
+
+type stats = {
+  mutable operators : int;  (** Operators executed. *)
+  mutable intermediate_rows : int;  (** Total rows produced across operators. *)
+  mutable intermediate_cells : int;  (** Rows weighted by width (FieldTrim effect). *)
+  mutable comm_rows : int;  (** Simulated shuffled rows (distributed profiles). *)
+  mutable comm_cells : int;  (** Shuffled rows weighted by row width. *)
+  mutable edges_touched : int;  (** Adjacency entries visited by expansions. *)
+  mutable peak_rows : int;
+      (** Maximum simultaneously-live materialized rows (breaker state,
+          reference batches, accumulated results). Drops on pipelined
+          plans relative to the materialized reference path. *)
+  mutable live_rows : int;  (** Current live rows (internal counter). *)
+  mutable op_trace : t option;  (** Per-operator trace of the last run. *)
+}
+
+val fresh_stats : unit -> stats
+
+exception Timeout
+(** Raised when a run exceeds its [budget] of CPU seconds — the engine's
+    analogue of the paper's one-hour OT cutoff. *)
+
+val live_add : stats -> int -> unit
+(** Rows became live; updates [peak_rows]. *)
+
+val live_sub : stats -> int -> unit
+(** Rows were released. *)
+
+type clock
+(** Self-time attribution clock shared by all operators of one run. *)
+
+val clock : unit -> clock
+
+val timed : clock -> t -> (unit -> 'a) -> 'a
+(** [timed clk tr f] runs [f], charging elapsed CPU time to [tr] except for
+    slices spent inside nested [timed] frames (exception-safe). *)
+
+val pp : Format.formatter -> t -> unit
+(** EXPLAIN ANALYZE-style tree rendering. *)
+
+val to_string : t -> string
+
+val total_time : t -> float
+(** Sum of self times over the whole tree. *)

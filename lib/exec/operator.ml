@@ -1,0 +1,774 @@
+(* Push-based pipelined execution.
+
+   Each Physical.t node compiles into an operator with consume/close
+   callbacks; rows flow through pipelines in chunks of [chunk_size] rows of
+   the Batch representation. Pipelines break only where semantics require
+   materialization: the Hash_join build side, Group, Order, and the
+   With_common common sub-plan (Dedup streams but holds its seen-set).
+
+   Stop protocol: Limit raises the internal [Stop] exception once satisfied;
+   it unwinds through the upstream operator frames to the pipeline's source
+   (Scan / Common_ref / branch driver), which catches it and closes the
+   pipeline. Sources additionally poll their sink's [k_alive] chain before
+   producing, so sibling pipelines that feed an already-satisfied Limit
+   (e.g. the second Union branch) never start. *)
+
+module G = Gopt_graph.Property_graph
+module Schema = Gopt_graph.Schema
+module Value = Gopt_graph.Value
+module Pattern = Gopt_pattern.Pattern
+module Tc = Gopt_pattern.Type_constraint
+module Logical = Gopt_gir.Logical
+module Physical = Gopt_opt.Physical
+module KeyTbl = Agg.KeyTbl
+module Vec = Gopt_util.Vec
+
+exception Stop
+
+let chunk_size = 1024
+
+type sink = {
+  k_consume : Batch.t -> unit;  (** Receive a chunk (never empty). *)
+  k_close : unit -> unit;  (** End of stream; called exactly once. *)
+  k_alive : unit -> bool;  (** Does anything downstream still want rows? *)
+}
+
+let run ?(profile = Op_trace.graphscope_profile) ?budget g plan =
+  let schema = G.schema g in
+  let vuniv = Schema.n_vtypes schema and euniv = Schema.n_etypes schema in
+  let st = Op_trace.fresh_stats () in
+  let clk = Op_trace.clock () in
+  let start = Sys.time () in
+  let ticks = ref 0 in
+  let tick () =
+    incr ticks;
+    if !ticks land 8191 = 0 then
+      match budget with
+      | Some b when Sys.time () -. start > b -> raise Op_trace.Timeout
+      | _ -> ()
+  in
+  let mk_trace ?(count_op = true) label =
+    if count_op then st.Op_trace.operators <- st.Op_trace.operators + 1;
+    Op_trace.make label []
+  in
+  (* wrap an operator body into a sink; consume/close are timed against the
+     operator's trace node and rows-in is counted *)
+  let mk_sink tr ~consume ~close ~alive =
+    {
+      k_consume =
+        (fun chunk ->
+          Op_trace.timed clk tr (fun () ->
+              tr.Op_trace.rows_in <- tr.Op_trace.rows_in + Batch.n_rows chunk;
+              consume chunk));
+      k_close = (fun () -> Op_trace.timed clk tr close);
+      k_alive = alive;
+    }
+  in
+  (* chunked output buffer: counts emissions into the trace and the engine
+     stats, flushes full chunks downstream, and raises Stop when the
+     downstream chain no longer wants rows. [count] is false only for
+     Common_ref re-emission (those rows were accounted when the common
+     sub-plan materialized). *)
+  let emitter ?(count = true) tr fields sink =
+    let buf = ref (Batch.create fields) in
+    let width = List.length fields in
+    let flush () =
+      if Batch.n_rows !buf > 0 then begin
+        let b = !buf in
+        buf := Batch.create fields;
+        sink.k_consume b
+      end
+    in
+    let emit row =
+      Batch.add !buf row;
+      tr.Op_trace.rows_out <- tr.Op_trace.rows_out + 1;
+      if count then begin
+        st.Op_trace.intermediate_rows <- st.Op_trace.intermediate_rows + 1;
+        st.Op_trace.intermediate_cells <- st.Op_trace.intermediate_cells + width;
+        if profile.Op_trace.count_comm then begin
+          st.Op_trace.comm_rows <- st.Op_trace.comm_rows + 1;
+          st.Op_trace.comm_cells <- st.Op_trace.comm_cells + width
+        end
+      end;
+      if Batch.n_rows !buf >= chunk_size then begin
+        flush ();
+        if not (sink.k_alive ()) then raise Stop
+      end
+    in
+    let close () =
+      (try flush () with Stop -> ());
+      sink.k_close ()
+    in
+    (emit, close)
+  in
+  (* collect a pipeline's output into a batch (final results, the common
+     sub-plan, join build inputs); collected rows are live *)
+  let collector fields =
+    let out = Batch.create fields in
+    let sink =
+      {
+        k_consume =
+          (fun chunk ->
+            Batch.iter
+              (fun row ->
+                Batch.add out row;
+                Op_trace.live_add st 1)
+              chunk);
+        k_close = ignore;
+        k_alive = (fun () -> true);
+      }
+    in
+    (out, sink)
+  in
+  let etypes con = Tc.to_list ~universe:euniv con in
+  let vcheck con v = Tc.mem ~universe:vuniv con (G.vtype g v) in
+  let iter_step_adj (step : Physical.edge_step) v f =
+    let e = step.Physical.s_edge in
+    let visit_out et = G.iter_out_etype g v et (fun eid -> tick (); f eid (G.edst g eid)) in
+    let visit_in et = G.iter_in_etype g v et (fun eid -> tick (); f eid (G.esrc g eid)) in
+    List.iter
+      (fun et ->
+        if e.Pattern.e_directed then
+          if step.Physical.s_forward then visit_out et else visit_in et
+        else begin
+          visit_out et;
+          visit_in et
+        end)
+      (etypes e.Pattern.e_con)
+  in
+  let step_edges_between (step : Physical.edge_step) u w =
+    let e = step.Physical.s_edge in
+    List.concat_map
+      (fun et ->
+        if e.Pattern.e_directed then
+          if step.Physical.s_forward then G.find_out_edges g ~src:u ~etype:et ~dst:w
+          else G.find_out_edges g ~src:w ~etype:et ~dst:u
+        else
+          G.find_out_edges g ~src:u ~etype:et ~dst:w
+          @ G.find_out_edges g ~src:w ~etype:et ~dst:u)
+      (etypes e.Pattern.e_con)
+  in
+  let sorted_step_neighbors (step : Physical.edge_step) v =
+    let e = step.Physical.s_edge in
+    let arrays =
+      List.concat_map
+        (fun et ->
+          if e.Pattern.e_directed then
+            if step.Physical.s_forward then [ G.out_neighbors_etype g v et ]
+            else [ G.in_neighbors_etype g v et ]
+          else [ G.out_neighbors_etype g v et; G.in_neighbors_etype g v et ])
+        (etypes e.Pattern.e_con)
+    in
+    let merged =
+      match arrays with
+      | [ single ] -> single (* per-etype adjacency is already sorted *)
+      | _ ->
+        let m = Array.concat arrays in
+        Array.sort Int.compare m;
+        m
+    in
+    let out = Vec.create () in
+    Array.iteri (fun i x -> if i = 0 || merged.(i - 1) <> x then Vec.push out x) merged;
+    Vec.to_array out
+  in
+  let vertex_of rv =
+    match rv with
+    | Rval.Rvertex v -> v
+    | _ -> invalid_arg "Engine: expected a vertex binding"
+  in
+  let label plan = Physical.node_label ~schema plan in
+  (* [run_plan common plan sink] executes the subtree rooted at [plan],
+     pushing chunks into [sink] and closing it exactly once; returns the
+     subtree's trace *)
+  let rec run_plan common plan sink : Op_trace.t =
+    (* drive a source iteration: honour the stop signal, then close *)
+    let drive tr close iterate =
+      (try
+         Op_trace.timed clk tr (fun () ->
+             if not (sink.k_alive ()) then raise Stop;
+             iterate ())
+       with Stop -> ());
+      Op_trace.timed clk tr close;
+      tr
+    in
+    (* streaming unary operator: per-input-row body emitting via [emit] *)
+    let streaming ?alive x tr fields on_row =
+      let emit, close = emitter tr fields sink in
+      let alive = match alive with Some f -> f | None -> sink.k_alive in
+      let op =
+        mk_sink tr ~alive ~close
+          ~consume:(fun chunk -> Batch.iter (fun row -> on_row emit row) chunk)
+      in
+      let ctr = run_plan common x op in
+      tr.Op_trace.children <- [ ctr ];
+      tr
+    in
+    (* hash-join machinery shared by Hash_join and With_common's C_join:
+       materializes the build side via [run_build], then streams the probe
+       side *)
+    let hash_join tr ~left_fields ~right_fields ~keys ~kind ~run_build ~run_probe =
+      let l_layout = Batch.create left_fields in
+      let r_layout = Batch.create right_fields in
+      let lkeys = List.map (Batch.pos l_layout) keys in
+      let rkeys = List.map (Batch.pos r_layout) keys in
+      let right_extra =
+        List.filter (fun f -> not (Batch.has_field l_layout f)) right_fields
+      in
+      let out_fields =
+        match kind with
+        | Logical.Semi | Logical.Anti -> left_fields
+        | Logical.Inner | Logical.Left_outer -> left_fields @ right_extra
+      in
+      let right_extra_pos = List.map (Batch.pos r_layout) right_extra in
+      let table : Rval.t array list KeyTbl.t = KeyTbl.create 64 in
+      let build_sink =
+        mk_sink tr ~alive:sink.k_alive ~close:ignore
+          ~consume:(fun chunk ->
+            Batch.iter
+              (fun row ->
+                tick ();
+                let key = List.map (fun p -> row.(p)) rkeys in
+                let cur = Option.value ~default:[] (KeyTbl.find_opt table key) in
+                KeyTbl.replace table key (row :: cur);
+                Op_trace.live_add st 1)
+              chunk)
+      in
+      let build_tr = run_build build_sink in
+      let emit, close = emitter tr out_fields sink in
+      let probe_sink =
+        mk_sink tr ~alive:sink.k_alive
+          ~consume:(fun chunk ->
+            Batch.iter
+              (fun lrow ->
+                tick ();
+                let key = List.map (fun p -> lrow.(p)) lkeys in
+                let matches = Option.value ~default:[] (KeyTbl.find_opt table key) in
+                let emit_pair rrow =
+                  emit
+                    (Array.append lrow
+                       (Array.of_list (List.map (fun p -> rrow.(p)) right_extra_pos)))
+                in
+                match kind with
+                | Logical.Inner -> List.iter emit_pair matches
+                | Logical.Left_outer ->
+                  if matches = [] then
+                    emit
+                      (Array.append lrow
+                         (Array.make (List.length right_extra_pos) Rval.Rnull))
+                  else List.iter emit_pair matches
+                | Logical.Semi -> if matches <> [] then emit lrow
+                | Logical.Anti -> if matches = [] then emit lrow)
+              chunk)
+          ~close:(fun () ->
+            Op_trace.live_sub st (KeyTbl.fold (fun _ rows n -> n + List.length rows) table 0);
+            close ())
+      in
+      let probe_tr = run_probe probe_sink in
+      (build_tr, probe_tr)
+    in
+    match plan with
+    | Physical.Empty _ ->
+      let tr = mk_trace (label plan) in
+      drive tr (fun () -> sink.k_close ()) (fun () -> ())
+    | Physical.Common_ref _ -> begin
+      match common with
+      | None -> failwith "Engine: CommonRef outside WithCommon"
+      | Some cb ->
+        let tr = mk_trace ~count_op:false (label plan) in
+        let emit, close = emitter ~count:false tr (Batch.fields cb) sink in
+        drive tr close (fun () -> Batch.iter emit cb)
+    end
+    | Physical.Scan { alias; con; pred } ->
+      let tr = mk_trace (label plan) in
+      let fields = [ alias ] in
+      let layout = Batch.create fields in
+      let emit, close = emitter tr fields sink in
+      drive tr close (fun () ->
+          List.iter
+            (fun t ->
+              Array.iter
+                (fun v ->
+                  tick ();
+                  let row = [| Rval.Rvertex v |] in
+                  let keep =
+                    match pred with
+                    | None -> true
+                    | Some p -> Eval.is_true (Eval.eval g (Eval.lookup_of_row layout row) p)
+                  in
+                  if keep then emit row)
+                (G.vertices_of_vtype g t))
+            (Tc.to_list ~universe:vuniv con))
+    | Physical.Expand_all (x, step) ->
+      let child_fields = Physical.output_fields x in
+      let e_alias = step.Physical.s_edge.Pattern.e_alias in
+      let fields = child_fields @ [ e_alias; step.Physical.s_to ] in
+      let layout = Batch.create fields in
+      let from_pos = Batch.pos layout step.Physical.s_from in
+      let tr = mk_trace (label plan) in
+      streaming x tr fields (fun emit row ->
+          let v = vertex_of row.(from_pos) in
+          iter_step_adj step v (fun eid other ->
+              st.Op_trace.edges_touched <- st.Op_trace.edges_touched + 1;
+              if vcheck step.Physical.s_to_con other then begin
+                let row' = Array.append row [| Rval.Redge eid; Rval.Rvertex other |] in
+                let lk = Eval.lookup_of_row layout row' in
+                let keep =
+                  (match step.Physical.s_edge.Pattern.e_pred with
+                  | None -> true
+                  | Some p -> Eval.is_true (Eval.eval g lk p))
+                  &&
+                  match step.Physical.s_to_pred with
+                  | None -> true
+                  | Some p -> Eval.is_true (Eval.eval g lk p)
+                in
+                if keep then emit row'
+              end))
+    | Physical.Expand_into (x, step) ->
+      let child_fields = Physical.output_fields x in
+      let e_alias = step.Physical.s_edge.Pattern.e_alias in
+      let fields = child_fields @ [ e_alias ] in
+      let layout = Batch.create fields in
+      let from_pos = Batch.pos layout step.Physical.s_from in
+      let to_pos = Batch.pos layout step.Physical.s_to in
+      let tr = mk_trace (label plan) in
+      streaming x tr fields (fun emit row ->
+          tick ();
+          let u = vertex_of row.(from_pos) and w = vertex_of row.(to_pos) in
+          List.iter
+            (fun eid ->
+              st.Op_trace.edges_touched <- st.Op_trace.edges_touched + 1;
+              let row' = Array.append row [| Rval.Redge eid |] in
+              let lk = Eval.lookup_of_row layout row' in
+              let keep =
+                match step.Physical.s_edge.Pattern.e_pred with
+                | None -> true
+                | Some p -> Eval.is_true (Eval.eval g lk p)
+              in
+              if keep then emit row')
+            (step_edges_between step u w))
+    | Physical.Expand_intersect (x, steps) ->
+      let child_fields = Physical.output_fields x in
+      let to_alias = (List.hd steps).Physical.s_to in
+      let edge_aliases = List.map (fun s -> s.Physical.s_edge.Pattern.e_alias) steps in
+      let fields = child_fields @ edge_aliases @ [ to_alias ] in
+      let layout = Batch.create fields in
+      let child_layout = Batch.create child_fields in
+      let from_pos = List.map (fun s -> Batch.pos child_layout s.Physical.s_from) steps in
+      let to_con = (List.hd steps).Physical.s_to_con in
+      let to_pred = (List.hd steps).Physical.s_to_pred in
+      (* hub vertices recur across rows: memoize their extracted adjacency *)
+      let nbr_cache : (int * int, int array) Hashtbl.t = Hashtbl.create 256 in
+      let step_neighbors idx step v =
+        match Hashtbl.find_opt nbr_cache (idx, v) with
+        | Some a -> a
+        | None ->
+          let a = sorted_step_neighbors step v in
+          st.Op_trace.edges_touched <- st.Op_trace.edges_touched + Array.length a;
+          Hashtbl.add nbr_cache (idx, v) a;
+          a
+      in
+      let tr = mk_trace (label plan) in
+      streaming x tr fields (fun emit row ->
+          tick ();
+          let anchors = List.map (fun p -> vertex_of row.(p)) from_pos in
+          let nbr_arrays =
+            List.mapi (fun i (s, v) -> step_neighbors i s v) (List.combine steps anchors)
+          in
+          match nbr_arrays with
+          | [] -> ()
+          | _ ->
+            let first =
+              List.fold_left
+                (fun acc a -> if Array.length a < Array.length acc then a else acc)
+                (List.hd nbr_arrays) (List.tl nbr_arrays)
+            in
+            let rest = List.filter (fun a -> a != first) nbr_arrays in
+            Array.iter
+              (fun c ->
+                tick ();
+                if
+                  List.for_all
+                    (fun arr ->
+                      let lo = ref 0 and hi = ref (Array.length arr) in
+                      while !lo < !hi do
+                        let mid = (!lo + !hi) / 2 in
+                        if arr.(mid) < c then lo := mid + 1 else hi := mid
+                      done;
+                      !lo < Array.length arr && arr.(!lo) = c)
+                    rest
+                  && vcheck to_con c
+                then begin
+                  let rec assemble acc_edges = function
+                    | [] ->
+                      let row' =
+                        Array.concat
+                          [
+                            row;
+                            Array.of_list (List.rev_map (fun e -> Rval.Redge e) acc_edges);
+                            [| Rval.Rvertex c |];
+                          ]
+                      in
+                      let lk = Eval.lookup_of_row layout row' in
+                      let keep =
+                        (match to_pred with
+                        | None -> true
+                        | Some p -> Eval.is_true (Eval.eval g lk p))
+                        && List.for_all
+                             (fun (s : Physical.edge_step) ->
+                               match s.Physical.s_edge.Pattern.e_pred with
+                               | None -> true
+                               | Some p -> Eval.is_true (Eval.eval g lk p))
+                             steps
+                      in
+                      if keep then emit row'
+                    | (s, v) :: more ->
+                      List.iter
+                        (fun eid -> assemble (eid :: acc_edges) more)
+                        (step_edges_between s v c)
+                  in
+                  assemble [] (List.combine steps anchors)
+                end)
+              first)
+    | Physical.Path_expand (x, step) ->
+      let child_fields = Physical.output_fields x in
+      let lo, hi =
+        match step.Physical.s_edge.Pattern.e_hops with
+        | Some (lo, hi) -> (lo, hi)
+        | None -> (1, 1)
+      in
+      let sem = step.Physical.s_edge.Pattern.e_path in
+      let e_alias = step.Physical.s_edge.Pattern.e_alias in
+      let bound_mode = List.mem step.Physical.s_to child_fields in
+      let fields =
+        if bound_mode then child_fields @ [ e_alias ]
+        else child_fields @ [ e_alias; step.Physical.s_to ]
+      in
+      let layout = Batch.create fields in
+      let from_pos = Batch.pos layout step.Physical.s_from in
+      let to_pos = if bound_mode then Some (Batch.pos layout step.Physical.s_to) else None in
+      let tr = mk_trace (label plan) in
+      streaming x tr fields (fun emit row ->
+          let v0 = vertex_of row.(from_pos) in
+          let target = Option.map (fun p -> vertex_of row.(p)) to_pos in
+          let rec dfs v depth edges_rev verts_rev =
+            tick ();
+            if depth >= lo && depth <= hi then begin
+              let ok_endpoint =
+                match target with Some t -> t = v | None -> vcheck step.Physical.s_to_con v
+              in
+              if ok_endpoint then begin
+                let path =
+                  Rval.Rpath { edges = List.rev edges_rev; verts = List.rev verts_rev }
+                in
+                let row' =
+                  if bound_mode then Array.append row [| path |]
+                  else Array.append row [| path; Rval.Rvertex v |]
+                in
+                let lk = Eval.lookup_of_row layout row' in
+                let keep =
+                  match step.Physical.s_to_pred with
+                  | None -> true
+                  | Some p -> if bound_mode then true else Eval.is_true (Eval.eval g lk p)
+                in
+                if keep then emit row'
+              end
+            end;
+            if depth < hi then
+              iter_step_adj step v (fun eid other ->
+                  st.Op_trace.edges_touched <- st.Op_trace.edges_touched + 1;
+                  let ok =
+                    match sem with
+                    | Pattern.Arbitrary -> true
+                    | Pattern.Simple -> not (List.mem other verts_rev)
+                    | Pattern.Trail -> not (List.mem eid edges_rev)
+                  in
+                  if ok then dfs other (depth + 1) (eid :: edges_rev) (other :: verts_rev))
+          in
+          dfs v0 0 [] [ v0 ])
+    | Physical.Hash_join { left; right; keys; kind } ->
+      let tr = mk_trace (label plan) in
+      let build_tr, probe_tr =
+        hash_join tr
+          ~left_fields:(Physical.output_fields left)
+          ~right_fields:(Physical.output_fields right)
+          ~keys ~kind
+          ~run_build:(fun s -> run_plan common right s)
+          ~run_probe:(fun s -> run_plan common left s)
+      in
+      tr.Op_trace.children <- [ probe_tr; build_tr ];
+      tr
+    | Physical.Select (x, pred) ->
+      let fields = Physical.output_fields x in
+      let layout = Batch.create fields in
+      let tr = mk_trace (label plan) in
+      streaming x tr fields (fun emit row ->
+          tick ();
+          if Eval.is_true (Eval.eval g (Eval.lookup_of_row layout row) pred) then emit row)
+    | Physical.Project (x, ps) ->
+      let child_fields = Physical.output_fields x in
+      let child_layout = Batch.create child_fields in
+      let fields = List.map snd ps in
+      let tr = mk_trace (label plan) in
+      streaming x tr fields (fun emit row ->
+          tick ();
+          let lk = Eval.lookup_of_row child_layout row in
+          emit (Array.of_list (List.map (fun (e, _) -> Eval.eval_rval g lk e) ps)))
+    | Physical.Group (x, ks, aggs) ->
+      let child_fields = Physical.output_fields x in
+      let child_layout = Batch.create child_fields in
+      let fields = List.map snd ks @ List.map (fun a -> a.Logical.agg_alias) aggs in
+      let tr = mk_trace (label plan) in
+      let emit, close_down = emitter tr fields sink in
+      let groups : (Rval.t list * Agg.state array) KeyTbl.t = KeyTbl.create 64 in
+      let op =
+        mk_sink tr ~alive:sink.k_alive
+          ~consume:(fun chunk ->
+            Batch.iter
+              (fun row ->
+                tick ();
+                let lk = Eval.lookup_of_row child_layout row in
+                let key = List.map (fun (e, _) -> Eval.eval_rval g lk e) ks in
+                let _, states =
+                  match KeyTbl.find_opt groups key with
+                  | Some entry -> entry
+                  | None ->
+                    let entry = (key, Array.of_list (List.map Agg.init aggs)) in
+                    KeyTbl.add groups key entry;
+                    Op_trace.live_add st 1;
+                    entry
+                in
+                List.iteri (fun i a -> Agg.update g lk states i a) aggs)
+              chunk)
+          ~close:(fun () ->
+            (try
+               if KeyTbl.length groups = 0 && ks = [] then
+                 (* aggregate over an empty input still yields one row *)
+                 emit (Array.of_list (List.map (fun a -> Agg.finish (Agg.init a) a) aggs))
+               else
+                 KeyTbl.iter
+                   (fun key (_, states) ->
+                     let agg_vals = List.mapi (fun i a -> Agg.finish states.(i) a) aggs in
+                     emit (Array.of_list (key @ agg_vals)))
+                   groups
+             with Stop -> ());
+            Op_trace.live_sub st (KeyTbl.length groups);
+            close_down ())
+      in
+      let ctr = run_plan common x op in
+      tr.Op_trace.children <- [ ctr ];
+      tr
+    | Physical.Order (x, ks, lim) ->
+      let fields = Physical.output_fields x in
+      let layout = Batch.create fields in
+      let tr = mk_trace (label plan) in
+      let emit, close_down = emitter tr fields sink in
+      let cmp (ka, _) (kb, _) =
+        let rec go ks ka kb =
+          match ks, ka, kb with
+          | [], _, _ -> 0
+          | (_, dir) :: ks', a :: ka', b :: kb' ->
+            let c = Value.compare a b in
+            let c = match dir with Logical.Asc -> c | Logical.Desc -> -c in
+            if c <> 0 then c else go ks' ka' kb'
+          | _ -> 0
+        in
+        go ks ka kb
+      in
+      let buf : (Value.t list * Rval.t array) Vec.t = Vec.create () in
+      (* with a limit, keep the buffer bounded: sort-and-truncate whenever it
+         overflows a small multiple of the target (amortized O(n log k)) *)
+      let prune_at =
+        match lim with Some l -> max (4 * l) chunk_size | None -> max_int
+      in
+      let truncate k =
+        Vec.sort cmp buf;
+        let kept = min k (Vec.length buf) in
+        let dropped = Vec.length buf - kept in
+        if dropped > 0 then begin
+          let keep = Array.init kept (Vec.get buf) in
+          Vec.clear buf;
+          Array.iter (Vec.push buf) keep;
+          Op_trace.live_sub st dropped
+        end
+      in
+      let op =
+        mk_sink tr ~alive:sink.k_alive
+          ~consume:(fun chunk ->
+            Batch.iter
+              (fun row ->
+                tick ();
+                let lk = Eval.lookup_of_row layout row in
+                Vec.push buf (List.map (fun (e, _) -> Eval.eval g lk e) ks, row);
+                Op_trace.live_add st 1;
+                if Vec.length buf > prune_at then
+                  truncate (match lim with Some l -> l | None -> max_int))
+              chunk)
+          ~close:(fun () ->
+            Vec.sort cmp buf;
+            let n =
+              match lim with Some l -> min l (Vec.length buf) | None -> Vec.length buf
+            in
+            (try
+               for i = 0 to n - 1 do
+                 emit (snd (Vec.get buf i))
+               done
+             with Stop -> ());
+            Op_trace.live_sub st (Vec.length buf);
+            close_down ())
+      in
+      let ctr = run_plan common x op in
+      tr.Op_trace.children <- [ ctr ];
+      tr
+    | Physical.Limit (x, n) ->
+      let fields = Physical.output_fields x in
+      let tr = mk_trace (label plan) in
+      let count = ref 0 in
+      streaming
+        ~alive:(fun () -> !count < n && sink.k_alive ())
+        x tr fields
+        (fun emit row ->
+          if !count < n then begin
+            emit row;
+            incr count;
+            (* stop signal: unwinds to this pipeline's source *)
+            if !count >= n then raise Stop
+          end)
+    | Physical.Skip (x, n) ->
+      let fields = Physical.output_fields x in
+      let tr = mk_trace (label plan) in
+      let seen = ref 0 in
+      streaming x tr fields (fun emit row ->
+          incr seen;
+          if !seen > n then emit row)
+    | Physical.Unfold (x, e, alias) ->
+      let child_fields = Physical.output_fields x in
+      let child_layout = Batch.create child_fields in
+      let fields = child_fields @ [ alias ] in
+      let tr = mk_trace (label plan) in
+      streaming x tr fields (fun emit row ->
+          tick ();
+          let emit1 v = emit (Array.append row [| v |]) in
+          match Eval.eval_rval g (Eval.lookup_of_row child_layout row) e with
+          | Rval.Rlist items -> List.iter emit1 items
+          | Rval.Rpath { verts; _ } -> List.iter (fun v -> emit1 (Rval.Rvertex v)) verts
+          | Rval.Rnull -> ()
+          | single -> emit1 single)
+    | Physical.Dedup (x, tags) ->
+      let fields = Physical.output_fields x in
+      let layout = Batch.create fields in
+      let positions =
+        match tags with
+        | [] -> List.init (List.length fields) Fun.id
+        | tags -> List.map (Batch.pos layout) tags
+      in
+      let tr = mk_trace (label plan) in
+      let seen = KeyTbl.create 64 in
+      let emit, close_down = emitter tr fields sink in
+      let op =
+        mk_sink tr ~alive:sink.k_alive
+          ~consume:(fun chunk ->
+            Batch.iter
+              (fun row ->
+                tick ();
+                let key = List.map (fun p -> row.(p)) positions in
+                if not (KeyTbl.mem seen key) then begin
+                  KeyTbl.add seen key ();
+                  Op_trace.live_add st 1;
+                  emit row
+                end)
+              chunk)
+          ~close:(fun () ->
+            Op_trace.live_sub st (KeyTbl.length seen);
+            close_down ())
+      in
+      let ctr = run_plan common x op in
+      tr.Op_trace.children <- [ ctr ];
+      tr
+    | Physical.All_distinct (x, distinct_fields) ->
+      let fields = Physical.output_fields x in
+      let layout = Batch.create fields in
+      let positions = List.map (Batch.pos layout) distinct_fields in
+      let tr = mk_trace (label plan) in
+      streaming x tr fields (fun emit row ->
+          tick ();
+          let ids = List.concat_map (fun p -> Rval.edge_ids row.(p)) positions in
+          let distinct =
+            let tbl = Hashtbl.create (List.length ids) in
+            List.for_all
+              (fun e ->
+                if Hashtbl.mem tbl e then false
+                else begin
+                  Hashtbl.add tbl e ();
+                  true
+                end)
+              ids
+          in
+          if distinct then emit row)
+    | Physical.Union (a, b) ->
+      let fields = Physical.output_fields a in
+      let b_layout = Batch.create (Physical.output_fields b) in
+      let tr = mk_trace (label plan) in
+      (* forwarding node: counts the combined stream once, like the
+         materialized engine recorded the concatenated batch *)
+      let emit, close = emitter tr fields sink in
+      let pending = ref 2 in
+      let branch_close () =
+        decr pending;
+        if !pending = 0 then close ()
+      in
+      let branch on_row =
+        mk_sink tr ~alive:sink.k_alive ~close:branch_close
+          ~consume:(fun chunk -> Batch.iter on_row chunk)
+      in
+      let tra = run_plan common a (branch emit) in
+      let trb =
+        run_plan common b (branch (fun row -> emit (Batch.project_to b_layout fields row)))
+      in
+      tr.Op_trace.children <- [ tra; trb ];
+      tr
+    | Physical.With_common { common = c; left; right; combine } ->
+      let tr = mk_trace (label plan) in
+      let c_fields = Physical.output_fields c in
+      let cb, c_sink = collector c_fields in
+      let c_tr = run_plan common c c_sink in
+      let inner = Some cb in
+      let l_tr, r_tr =
+        match combine with
+        | Logical.C_union ->
+          let fields = Physical.output_fields left in
+          let r_layout = Batch.create (Physical.output_fields right) in
+          let emit, close = emitter tr fields sink in
+          let pending = ref 2 in
+          let branch_close () =
+            decr pending;
+            if !pending = 0 then close ()
+          in
+          let branch on_row =
+            mk_sink tr ~alive:sink.k_alive ~close:branch_close
+              ~consume:(fun chunk -> Batch.iter on_row chunk)
+          in
+          let l_tr = run_plan inner left (branch emit) in
+          let r_tr =
+            run_plan inner right
+              (branch (fun row -> emit (Batch.project_to r_layout fields row)))
+          in
+          (l_tr, r_tr)
+        | Logical.C_join (keys, kind) ->
+          let build_tr, probe_tr =
+            hash_join tr
+              ~left_fields:(Physical.output_fields left)
+              ~right_fields:(Physical.output_fields right)
+              ~keys ~kind
+              ~run_build:(fun s -> run_plan inner right s)
+              ~run_probe:(fun s -> run_plan inner left s)
+          in
+          (probe_tr, build_tr)
+      in
+      Op_trace.live_sub st (Batch.n_rows cb);
+      tr.Op_trace.children <- [ c_tr; l_tr; r_tr ];
+      tr
+  in
+  let result, final_sink = collector (Physical.output_fields plan) in
+  let root_tr = run_plan None plan final_sink in
+  st.Op_trace.op_trace <- Some root_tr;
+  (result, st)

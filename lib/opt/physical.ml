@@ -99,7 +99,44 @@ let rec uses_intersect = function
   | With_common { common; left; right; _ } ->
     uses_intersect common || uses_intersect left || uses_intersect right
 
-let pp ?schema ppf plan =
+(* --- pipeline classification (push-based engine support) ------------------ *)
+
+type pipeline_role =
+  | Streaming  (** Emits as input arrives; holds no unbounded state. *)
+  | Stateful
+      (** Emits eagerly but accumulates state proportional to distinct
+          input (e.g. Dedup's seen-set). *)
+  | Breaker
+      (** Must materialize (part of) its input before emitting: Group,
+          Order, the Hash_join build side, the With_common common
+          sub-plan. *)
+
+let pipeline_role = function
+  | Group _ | Order _ | Hash_join _ | With_common _ -> Breaker
+  | Dedup _ -> Stateful
+  | Scan _ | Expand_all _ | Expand_into _ | Expand_intersect _ | Path_expand _
+  | Select _ | Project _ | Limit _ | Skip _ | Unfold _ | Union _ | All_distinct _
+  | Common_ref _ | Empty _ ->
+    Streaming
+
+let is_pipeline_breaker plan = pipeline_role plan = Breaker
+
+let rec breaker_count plan =
+  let self = if is_pipeline_breaker plan then 1 else 0 in
+  match plan with
+  | Scan _ | Common_ref _ | Empty _ -> self
+  | Expand_all (x, _) | Expand_into (x, _) | Expand_intersect (x, _) | Path_expand (x, _)
+  | Select (x, _) | Project (x, _) | Group (x, _, _) | Order (x, _, _) | Limit (x, _)
+  | Skip (x, _) | Unfold (x, _, _) | Dedup (x, _) | All_distinct (x, _) ->
+    self + breaker_count x
+  | Hash_join { left; right; _ } | Union (left, right) ->
+    self + breaker_count left + breaker_count right
+  | With_common { common; left; right; _ } ->
+    self + breaker_count common + breaker_count left + breaker_count right
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let node_label ?schema plan =
   let ename =
     match schema with
     | Some s -> fun i -> Gopt_graph.Schema.etype_name s i
@@ -122,79 +159,63 @@ let pp ?schema ppf plan =
       (if s.s_forward then "-" else "<-")
       s.s_to (Tc.pp ~names:vname) s.s_to_con
   in
+  match plan with
+  | Scan { alias; con; pred } ->
+    Format.asprintf "Scan(%s:%a)%s" alias (Tc.pp ~names:vname) con
+      (match pred with None -> "" | Some p -> " WHERE " ^ Expr.to_string p)
+  | Expand_all (_, s) -> Printf.sprintf "ExpandAll(%s)" (step_str s)
+  | Expand_into (_, s) -> Printf.sprintf "ExpandInto(%s)" (step_str s)
+  | Expand_intersect (_, steps) ->
+    Printf.sprintf "ExpandIntersect(%s)" (String.concat " & " (List.map step_str steps))
+  | Path_expand (_, s) -> Printf.sprintf "PathExpand(%s)" (step_str s)
+  | Hash_join { keys; kind; _ } ->
+    Printf.sprintf "HashJoin[%s](%s)"
+      (match kind with
+      | Logical.Inner -> "INNER"
+      | Logical.Left_outer -> "LEFT"
+      | Logical.Semi -> "SEMI"
+      | Logical.Anti -> "ANTI")
+      (String.concat ", " keys)
+  | Select (_, e) -> Printf.sprintf "Select(%s)" (Expr.to_string e)
+  | Project (_, ps) ->
+    Printf.sprintf "Project(%s)"
+      (String.concat ", "
+         (List.map (fun (e, a) -> Printf.sprintf "%s AS %s" (Expr.to_string e) a) ps))
+  | Group (_, ks, aggs) ->
+    Printf.sprintf "Group(keys=%d, aggs=%d)" (List.length ks) (List.length aggs)
+  | Order (_, ks, lim) ->
+    Printf.sprintf "Order(keys=%d%s)" (List.length ks)
+      (match lim with None -> "" | Some n -> Printf.sprintf ", topk=%d" n)
+  | Limit (_, n) -> Printf.sprintf "Limit(%d)" n
+  | Skip (_, n) -> Printf.sprintf "Skip(%d)" n
+  | Unfold (_, e, a) -> Printf.sprintf "Unfold(%s AS %s)" (Expr.to_string e) a
+  | Dedup (_, tags) -> Printf.sprintf "Dedup(%s)" (String.concat ", " tags)
+  | Union _ -> "Union"
+  | All_distinct (_, tags) -> Printf.sprintf "AllDistinct(%s)" (String.concat ", " tags)
+  | With_common _ -> "WithCommon"
+  | Common_ref _ -> "CommonRef"
+  | Empty fields -> Printf.sprintf "Empty(%s)" (String.concat ", " fields)
+
+let pp ?schema ppf plan =
   let rec go indent plan =
-    let pad = String.make (2 * indent) ' ' in
-    let line fmt = Format.fprintf ppf ("%s" ^^ fmt ^^ "@,") pad in
+    Format.fprintf ppf "%s%s@," (String.make (2 * indent) ' ') (node_label ?schema plan);
     match plan with
-    | Scan { alias; con; pred } ->
-      line "Scan(%s:%a)%s" alias (Tc.pp ~names:vname) con
-        (match pred with None -> "" | Some p -> " WHERE " ^ Expr.to_string p)
-    | Expand_all (x, s) ->
-      line "ExpandAll(%s)" (step_str s);
+    | Scan _ | Common_ref _ | Empty _ -> ()
+    | Expand_all (x, _) | Expand_into (x, _) | Expand_intersect (x, _) | Path_expand (x, _)
+    | Select (x, _) | Project (x, _) | Group (x, _, _) | Order (x, _, _) | Limit (x, _)
+    | Skip (x, _) | Unfold (x, _, _) | Dedup (x, _) | All_distinct (x, _) ->
       go (indent + 1) x
-    | Expand_into (x, s) ->
-      line "ExpandInto(%s)" (step_str s);
-      go (indent + 1) x
-    | Expand_intersect (x, steps) ->
-      line "ExpandIntersect(%s)" (String.concat " & " (List.map step_str steps));
-      go (indent + 1) x
-    | Path_expand (x, s) ->
-      line "PathExpand(%s)" (step_str s);
-      go (indent + 1) x
-    | Hash_join { left; right; keys; kind } ->
-      line "HashJoin[%s](%s)"
-        (match kind with
-        | Logical.Inner -> "INNER"
-        | Logical.Left_outer -> "LEFT"
-        | Logical.Semi -> "SEMI"
-        | Logical.Anti -> "ANTI")
-        (String.concat ", " keys);
+    | Hash_join { left; right; _ } | Union (left, right) ->
       go (indent + 1) left;
       go (indent + 1) right
-    | Select (x, e) ->
-      line "Select(%s)" (Expr.to_string e);
-      go (indent + 1) x
-    | Project (x, ps) ->
-      line "Project(%s)"
-        (String.concat ", "
-           (List.map (fun (e, a) -> Printf.sprintf "%s AS %s" (Expr.to_string e) a) ps));
-      go (indent + 1) x
-    | Group (x, ks, aggs) ->
-      line "Group(keys=%d, aggs=%d)" (List.length ks) (List.length aggs);
-      go (indent + 1) x
-    | Order (x, ks, lim) ->
-      line "Order(keys=%d%s)" (List.length ks)
-        (match lim with None -> "" | Some n -> Printf.sprintf ", topk=%d" n);
-      go (indent + 1) x
-    | Limit (x, n) ->
-      line "Limit(%d)" n;
-      go (indent + 1) x
-    | Skip (x, n) ->
-      line "Skip(%d)" n;
-      go (indent + 1) x
-    | Unfold (x, e, a) ->
-      line "Unfold(%s AS %s)" (Expr.to_string e) a;
-      go (indent + 1) x
-    | Dedup (x, tags) ->
-      line "Dedup(%s)" (String.concat ", " tags);
-      go (indent + 1) x
-    | Union (a, b) ->
-      line "Union";
-      go (indent + 1) a;
-      go (indent + 1) b
-    | All_distinct (x, tags) ->
-      line "AllDistinct(%s)" (String.concat ", " tags);
-      go (indent + 1) x
     | With_common { common; left; right; _ } ->
-      line "WithCommon";
       go (indent + 1) common;
       go (indent + 1) left;
       go (indent + 1) right
-    | Common_ref _ -> line "CommonRef"
-    | Empty fields -> line "Empty(%s)" (String.concat ", " fields)
   in
   Format.fprintf ppf "@[<v>";
   go 0 plan;
   Format.fprintf ppf "@]"
+
 
 let to_string ?schema plan = Format.asprintf "%a" (pp ?schema) plan

@@ -68,6 +68,31 @@ type t =
 val output_fields : t -> string list
 (** Visible fields, mirroring {!Gopt_gir.Logical.output_fields}. *)
 
+type pipeline_role =
+  | Streaming  (** Emits as input arrives; holds no unbounded state. *)
+  | Stateful
+      (** Emits eagerly but accumulates state proportional to distinct
+          input (e.g. Dedup's seen-set). *)
+  | Breaker
+      (** Must materialize (part of) its input before emitting: Group,
+          Order, the Hash_join build side, the With_common common
+          sub-plan. *)
+
+val pipeline_role : t -> pipeline_role
+(** How the push-based engine executes this operator (classification of the
+    node itself, not the subtree). *)
+
+val is_pipeline_breaker : t -> bool
+(** [pipeline_role t = Breaker]. *)
+
+val breaker_count : t -> int
+(** Pipeline breakers in the whole plan tree; a plan with [n] breakers
+    executes as at least [n + 1] pipelines. *)
+
+val node_label : ?schema:Gopt_graph.Schema.t -> t -> string
+(** Single-line description of the root operator (no children) — shared by
+    {!pp} and the engine's per-operator traces. *)
+
 val pp : ?schema:Gopt_graph.Schema.t -> Format.formatter -> t -> unit
 val to_string : ?schema:Gopt_graph.Schema.t -> t -> string
 

@@ -261,6 +261,128 @@ let test_stats_recorded () =
   let _, stats2 = Engine.run ~profile:Engine.neo4j_profile graph phys in
   Alcotest.(check int) "no comm on neo4j profile" 0 stats2.Engine.comm_rows
 
+let test_batch_pos_error () =
+  let b = Batch.create [ "a"; "b" ] in
+  Alcotest.(check (option int)) "pos_opt hit" (Some 1) (Batch.pos_opt b "b");
+  Alcotest.(check (option int)) "pos_opt miss" None (Batch.pos_opt b "zz");
+  match Batch.pos b "zz" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "names the field" true
+      (String.length msg > 0
+      && (let contains sub s =
+            let n = String.length sub and m = String.length s in
+            let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+            go 0
+          in
+          contains "zz" msg && contains "a" msg && contains "b" msg))
+
+(* differential: every workload query through the pipelined engine and the
+   materialized reference path must produce the same rows, and the pipelined
+   run must never hold more rows live *)
+
+module Queries = Gopt_workloads.Queries
+
+let canon_rows b =
+  let rows = ref [] in
+  Batch.iter (fun row -> rows := Array.to_list row :: !rows) b;
+  List.sort (List.compare Rval.compare) !rows
+
+let test_differential_workloads () =
+  let g = Gopt_workloads.Ldbc.generate ~persons:60 () in
+  let session = Gopt.Session.create g in
+  List.iter
+    (fun (q : Queries.query) ->
+      let physical, _ = Gopt.plan_cypher session q.Queries.cypher in
+      let b_pipe, s_pipe = Engine.run g physical in
+      let b_mat, s_mat = Engine.run_materialized g physical in
+      Alcotest.(check (list string))
+        (q.Queries.name ^ ": fields")
+        (Batch.fields b_mat) (Batch.fields b_pipe);
+      Alcotest.(check bool)
+        (q.Queries.name ^ ": same rows")
+        true
+        (List.equal (List.equal Rval.equal) (canon_rows b_pipe) (canon_rows b_mat));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: pipelined peak %d <= materialized peak %d" q.Queries.name
+           s_pipe.Engine.peak_rows s_mat.Engine.peak_rows)
+        true
+        (s_pipe.Engine.peak_rows <= s_mat.Engine.peak_rows);
+      Alcotest.(check bool)
+        (q.Queries.name ^ ": trace present")
+        true (s_pipe.Engine.op_trace <> None);
+      Alcotest.(check bool)
+        (q.Queries.name ^ ": reference has no trace")
+        true (s_mat.Engine.op_trace = None))
+    (Queries.comprehensive @ Queries.qr @ Queries.qt @ Queries.qc)
+
+let test_limit_short_circuit () =
+  (* big enough that the full expansion dwarfs one 1024-row chunk — the
+     stop signal's granularity *)
+  let g = Gopt_workloads.Ldbc.generate ~persons:2000 () in
+  let schema = Gopt_graph.Property_graph.schema g in
+  let person_t = Gopt_graph.Schema.vtype_id schema "Person" in
+  let knows_t = Gopt_graph.Schema.etype_id schema "KNOWS" in
+  let expand =
+    Physical.Expand_all
+      ( Physical.Scan { alias = "a"; con = Tc.Basic person_t; pred = None },
+        {
+          Physical.s_edge = pe "e" 0 1 (Tc.Basic knows_t);
+          s_from = "a";
+          s_to = "b";
+          s_forward = true;
+          s_to_con = Tc.Basic person_t;
+          s_to_pred = None;
+        } )
+  in
+  let limited = Physical.Limit (expand, 5) in
+  let b_pipe, s_pipe = Engine.run g limited in
+  let b_mat, s_mat = Engine.run_materialized g limited in
+  Alcotest.(check int) "both return 5 rows" (Batch.n_rows b_mat) (Batch.n_rows b_pipe);
+  Alcotest.(check int) "5 rows" 5 (Batch.n_rows b_pipe);
+  (* the stop signal reaches the expansion: far fewer adjacency entries are
+     visited than the materialized path's full expansion *)
+  Alcotest.(check bool)
+    (Printf.sprintf "edges touched: pipelined %d << materialized %d" s_pipe.Engine.edges_touched
+       s_mat.Engine.edges_touched)
+    true
+    (s_pipe.Engine.edges_touched * 4 < s_mat.Engine.edges_touched);
+  Alcotest.(check bool)
+    (Printf.sprintf "intermediate rows: pipelined %d << materialized %d"
+       s_pipe.Engine.intermediate_rows s_mat.Engine.intermediate_rows)
+    true
+    (s_pipe.Engine.intermediate_rows * 4 < s_mat.Engine.intermediate_rows)
+
+let test_pipeline_classification () =
+  let scan = Physical.Scan { alias = "a"; con = Tc.Basic person; pred = None } in
+  Alcotest.(check bool) "scan streams" true (Physical.pipeline_role scan = Physical.Streaming);
+  Alcotest.(check bool) "dedup is stateful" true
+    (Physical.pipeline_role (Physical.Dedup (scan, [])) = Physical.Stateful);
+  let order = Physical.Order (scan, [], None) in
+  Alcotest.(check bool) "order breaks" true (Physical.is_pipeline_breaker order);
+  let aggs = [ { Logical.agg_fn = Logical.Count; agg_arg = None; agg_alias = "c" } ] in
+  let grouped = Physical.Group (order, [], aggs) in
+  Alcotest.(check int) "two breakers" 2 (Physical.breaker_count grouped);
+  Alcotest.(check int) "limit adds none" 2
+    (Physical.breaker_count (Physical.Limit (grouped, 1)))
+
+let test_trace_totals () =
+  (* the root trace's totals are consistent with the engine stats *)
+  let scan = Physical.Scan { alias = "a"; con = Tc.Basic person; pred = None } in
+  let proj = Physical.Project (scan, [ (Expr.Prop ("a", "name"), "n") ]) in
+  let _, st = Engine.run graph proj in
+  match st.Engine.op_trace with
+  | None -> Alcotest.fail "pipelined run must record a trace"
+  | Some tr ->
+    Alcotest.(check string) "root is the plan root" (Physical.node_label proj) tr.Gopt_exec.Op_trace.name;
+    Alcotest.(check int) "root rows out" 4 tr.Gopt_exec.Op_trace.rows_out;
+    let rec sum tr =
+      tr.Gopt_exec.Op_trace.rows_out
+      + List.fold_left (fun acc c -> acc + sum c) 0 tr.Gopt_exec.Op_trace.children
+    in
+    Alcotest.(check int) "sum of rows_out = intermediate_rows" st.Engine.intermediate_rows
+      (sum tr)
+
 (* property: all planners agree with the brute-force oracle on random
    connected patterns *)
 let prop_planners_agree =
@@ -315,6 +437,14 @@ let () =
           Alcotest.test_case "union dedup project" `Quick test_union_dedup_project;
           Alcotest.test_case "with common" `Quick test_with_common;
           Alcotest.test_case "stats" `Quick test_stats_recorded;
+          Alcotest.test_case "batch pos error" `Quick test_batch_pos_error;
+          Alcotest.test_case "pipeline classification" `Quick test_pipeline_classification;
+          Alcotest.test_case "trace totals" `Quick test_trace_totals;
+        ] );
+      ( "pipelined-vs-materialized",
+        [
+          Alcotest.test_case "workload differential" `Quick test_differential_workloads;
+          Alcotest.test_case "limit short-circuit" `Quick test_limit_short_circuit;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_planners_agree ]);
     ]
