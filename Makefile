@@ -1,7 +1,8 @@
 # Tier-1 verification gate: everything must build, every test suite must
-# pass, and the bench harness must execute one LDBC query end-to-end on the
+# pass, the PlanCheck linter must report zero errors over every workload
+# query, and the bench harness must execute one LDBC query end-to-end on the
 # pipelined engine and print its per-operator trace.
-.PHONY: check build test trace
+.PHONY: check build test lint trace
 
 build:
 	dune build
@@ -9,8 +10,13 @@ build:
 test:
 	dune runtest
 
+# Static analysis: parse, lower and plan every workload query with the plan
+# verifier enabled at every optimizer stage; exits non-zero on any error.
+lint:
+	dune exec bin/gopt_cli.exe -- --lint --persons 200
+
 trace:
 	GOPT_BENCH_PERSONS=300 GOPT_BENCH_BUDGET=5 dune exec bench/main.exe -- trace
 
-check: build test trace
+check: build test lint trace
 	@echo "check: OK"

@@ -79,6 +79,7 @@ let fig8a_config ~field_trim ~rules =
     inference_schema = None;
     enable_cbo = false;
     cbo_options = Cbo.default_options;
+    check_plans = false;
   }
 
 let fig8a () =

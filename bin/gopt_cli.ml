@@ -10,8 +10,83 @@
 
 open Cmdliner
 
+module Diag = Gopt_check.Diagnostic
+
+(* Static analysis of one query: frontend checks (parse/lower/Plan_check),
+   then — when the frontend is clean — the full checked planning pipeline
+   (every rule firing verified, every stage re-checked). *)
+let lint_query session config lang src =
+  let front =
+    match lang with
+    | "gremlin" -> Gopt.check_gremlin session src
+    | _ -> Gopt.check_cypher session src
+  in
+  let staged =
+    if not (Diag.is_clean front) then []
+    else begin
+      let config = { config with Gopt_opt.Planner.check_plans = true } in
+      let gir =
+        match lang with
+        | "gremlin" -> Gopt.gremlin_to_gir session src
+        | _ -> Gopt.cypher_to_gir session src
+      in
+      match
+        Gopt_opt.Planner.plan config (Gopt.Session.estimator session) gir
+      with
+      | _, report ->
+        List.concat_map
+          (fun (stage, ds) ->
+            (* the "logical" stage re-checks the same GIR the frontend just
+               reported on — skip the duplicate *)
+            if stage = "logical" then []
+            else List.map (fun d -> Diag.{ d with path = stage ^ "/" ^ d.path }) ds)
+          report.Gopt_opt.Planner.diagnostics
+      | exception Gopt_opt.Rule.Check_failed { rule; diag } ->
+        [
+          Diag.errorf ~path:("rbo/" ^ diag.Diag.path)
+            "rule %S broke a plan invariant: %s" rule diag.Diag.message;
+        ]
+      | exception Invalid_argument m -> [ Diag.error ~path:"plan" m ]
+    end
+  in
+  front @ staged
+
+let run_lint session config lang workload query =
+  let named =
+    Gopt_workloads.Queries.comprehensive @ Gopt_workloads.Queries.qr
+    @ Gopt_workloads.Queries.qt @ Gopt_workloads.Queries.qc
+  in
+  let targets =
+    match (workload, query) with
+    | Some name, _ ->
+      let q = Gopt_workloads.Queries.find named name in
+      [ (q.Gopt_workloads.Queries.name, q.Gopt_workloads.Queries.cypher) ]
+    | None, Some q -> [ ("query", q) ]
+    | None, None ->
+      List.map
+        (fun q -> (q.Gopt_workloads.Queries.name, q.Gopt_workloads.Queries.cypher))
+        named
+  in
+  let n_errors = ref 0 in
+  List.iter
+    (fun (name, src) ->
+      let diags = lint_query session config lang src in
+      n_errors := !n_errors + List.length (Diag.errors diags);
+      if diags = [] then Printf.printf "%-16s clean\n" name
+      else begin
+        Printf.printf "%-16s %d error(s), %d warning(s)\n" name
+          (List.length (Diag.errors diags))
+          (List.length diags - List.length (Diag.errors diags));
+        print_endline (Gopt.render_diagnostics diags)
+      end)
+    targets;
+  Printf.printf "-- linted %d quer%s, %d error(s)\n" (List.length targets)
+    (if List.length targets = 1 then "y" else "ies")
+    !n_errors;
+  if !n_errors > 0 then 1 else 0
+
 let run_main dataset persons accounts seed lang planner backend explain analyze stats_only
-    workload load save query =
+    lint workload load save query =
   let graph =
     match load with
     | Some path -> Gopt_graph.Graph_io.load path
@@ -45,6 +120,8 @@ let run_main dataset persons accounts seed lang planner backend explain analyze 
       | "gsrbo" -> Gopt_opt.Baselines.gs_rbo_config
       | other -> failwith (Printf.sprintf "unknown planner %S (gopt|cypher|gsrbo)" other)
     in
+    if lint then run_lint session config lang workload query
+    else begin
     let query =
       match workload, query with
       | Some name, _ ->
@@ -84,6 +161,7 @@ let run_main dataset persons accounts seed lang planner backend explain analyze 
       end;
       0
     end
+    end
   end
 
 let dataset = Arg.(value & opt string "ldbc" & info [ "dataset" ] ~doc:"ldbc or transfer")
@@ -98,6 +176,15 @@ let explain = Arg.(value & flag & info [ "explain" ] ~doc:"show plans instead of
 let analyze =
   Arg.(value & flag & info [ "analyze" ] ~doc:"after executing, print the per-operator trace (EXPLAIN ANALYZE)")
 let stats_only = Arg.(value & flag & info [ "stats" ] ~doc:"print dataset statistics and exit")
+let lint =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "statically check queries instead of executing: parse/lowering failures, \
+           undefined variables, schema mismatches, plan invariants at every optimizer \
+           stage. Lints the given QUERY (or --workload), or every workload query when \
+           none is given; exits 1 if any error is reported")
 let workload =
   Arg.(value & opt (some string) None & info [ "workload" ] ~doc:"run a named workload query (IC1..BI18, QR, QT, QC)")
 let load_file =
@@ -112,6 +199,6 @@ let cmd =
     (Cmd.info "gopt" ~doc)
     Term.(
       const run_main $ dataset $ persons $ accounts $ seed $ lang $ planner $ backend
-      $ explain $ analyze $ stats_only $ workload $ load_file $ save_file $ query)
+      $ explain $ analyze $ stats_only $ lint $ workload $ load_file $ save_file $ query)
 
 let () = exit (Cmd.eval' cmd)

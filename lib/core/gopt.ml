@@ -69,6 +69,32 @@ let plan_cypher ?params ?config s src =
   let config = match config with Some c -> c | None -> Planner.default_config () in
   Planner.plan config s.Session.gq (cypher_to_gir ?params s src)
 
+(* --- static checking (the --lint front door) ------------------------------- *)
+
+module Diagnostic = Gopt_check.Diagnostic
+module Plan_check = Gopt_check.Plan_check
+
+let check_gir (s : Session.t) gir =
+  Plan_check.check ~schema:(Session.schema s) gir
+
+let check_of_thunk to_gir s =
+  match to_gir () with
+  | gir -> check_gir s gir
+  | exception Gopt_lang.Cypher_parser.Parse_error m ->
+    [ Diagnostic.error ~path:"parse" m ]
+  | exception Gopt_lang.Gremlin_parser.Parse_error m ->
+    [ Diagnostic.error ~path:"parse" m ]
+  | exception Gopt_lang.Lexer.Lex_error (m, pos) ->
+    [ Diagnostic.errorf ~path:"parse" "%s (at offset %d)" m pos ]
+  | exception Gopt_lang.Lowering.Lowering_error m ->
+    [ Diagnostic.error ~path:"lower" m ]
+
+let check_cypher ?params s src = check_of_thunk (fun () -> cypher_to_gir ?params s src) s
+
+let check_gremlin s src = check_of_thunk (fun () -> gremlin_to_gir s src) s
+
+let render_diagnostics = Diagnostic.render
+
 let render_trace (o : outcome) =
   match o.exec_stats.Engine.op_trace with
   | Some tr -> Gopt_exec.Op_trace.to_string tr

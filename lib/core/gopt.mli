@@ -103,3 +103,25 @@ val cypher_to_gir :
 (** Frontend only: parse + lower (useful for cross-language tests). *)
 
 val gremlin_to_gir : Session.t -> string -> Gopt_gir.Logical.t
+
+val check_cypher :
+  ?params:(string * Gopt_graph.Value.t list) list ->
+  Session.t ->
+  string ->
+  Gopt_check.Diagnostic.t list
+(** Statically check a query without planning or executing it: parse and
+    lexer failures surface as a single error at path ["parse"], unknown
+    labels/properties raised during lowering at path ["lower"], and the
+    lowered plan runs through {!Gopt_check.Plan_check} against the session
+    schema — undefined variables, type-mismatched expressions, malformed
+    operators, and unused-binding warnings, each anchored at its operator
+    path. An empty list means the query is clean. *)
+
+val check_gremlin : Session.t -> string -> Gopt_check.Diagnostic.t list
+
+val check_gir : Session.t -> Gopt_gir.Logical.t -> Gopt_check.Diagnostic.t list
+(** {!Gopt_check.Plan_check.check} against the session schema. *)
+
+val render_diagnostics : Gopt_check.Diagnostic.t list -> string
+(** One ["severity: path: message"] line per diagnostic;
+    ["(no diagnostics)"] when the list is empty. *)

@@ -47,17 +47,29 @@ let value_str = function
   | Value.Float f -> "f:" ^ Printf.sprintf "%h" f
   | Value.Str s -> "s:" ^ escape s
 
+(* Internal parse failure; [of_string] re-raises as [Failure] with the
+   offending line number attached. *)
+exception Parse_error of string
+
+let perr fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
 let value_of_str str =
-  if String.length str < 2 || str.[1] <> ':' then failwith "malformed value"
+  if String.length str < 2 || str.[1] <> ':' then perr "malformed value %S" str
   else begin
     let payload = String.sub str 2 (String.length str - 2) in
     match str.[0] with
     | 'n' -> Value.Null
-    | 'b' -> Value.Bool (bool_of_string payload)
-    | 'i' -> Value.Int (int_of_string payload)
-    | 'f' -> Value.Float (float_of_string payload)
+    | 'b' -> (
+      try Value.Bool (bool_of_string payload)
+      with _ -> perr "malformed bool payload %S" payload)
+    | 'i' -> (
+      try Value.Int (int_of_string payload)
+      with _ -> perr "malformed int payload %S" payload)
+    | 'f' -> (
+      try Value.Float (float_of_string payload)
+      with _ -> perr "malformed float payload %S" payload)
     | 's' -> Value.Str (unescape payload)
-    | _ -> failwith "unknown value tag"
+    | c -> perr "unknown value tag %C in %S" c str
   end
 
 let kind_str = function
@@ -71,7 +83,7 @@ let kind_of_str = function
   | "int" -> Schema.P_int
   | "float" -> Schema.P_float
   | "string" -> Schema.P_string
-  | other -> failwith (Printf.sprintf "unknown property kind %S" other)
+  | other -> perr "unknown property kind %S" other
 
 let write_graph buf g =
   let schema = Property_graph.schema g in
@@ -143,65 +155,80 @@ let parse_prop_decl field =
   match String.rindex_opt field ':' with
   | Some i ->
     (unescape (String.sub field 0 i), kind_of_str (String.sub field (i + 1) (String.length field - i - 1)))
-  | None -> failwith (Printf.sprintf "malformed property declaration %S" field)
+  | None -> perr "malformed property declaration %S" field
 
 let parse_prop_value field =
   match String.index_opt field '=' with
   | Some i ->
     ( unescape (String.sub field 0 i),
       value_of_str (String.sub field (i + 1) (String.length field - i - 1)) )
-  | None -> failwith (Printf.sprintf "malformed property %S" field)
+  | None -> perr "malformed property %S" field
 
 let of_string text =
   let lines = String.split_on_char '\n' text in
-  let lineno = ref 0 in
-  let fail msg = failwith (Printf.sprintf "Graph_io: line %d: %s" !lineno msg) in
+  let fail lineno msg = failwith (Printf.sprintf "Graph_io: line %d: %s" lineno msg) in
+  (* run one line's parsing, attaching the line number to any failure *)
+  let on_line lineno f =
+    try f () with
+    | Parse_error m -> fail lineno m
+    | Failure m -> fail lineno m
+  in
   let vtypes = ref [] and etypes = ref [] and triples = ref [] in
-  let pending : (string * string list) list ref = ref [] in
-  (* first pass: declarations; collect entity lines for the second pass *)
+  let pending : (int * string list) list ref = ref [] in
+  (* first pass: declarations; collect entity lines (with their original
+     line numbers) for the second pass *)
+  let lineno = ref 0 in
   List.iter
     (fun line ->
       incr lineno;
-      if line <> "" then begin
-        match split_tabs line with
-        | [ "gopt-graph v1" ] -> ()
-        | "vtype" :: name :: props ->
-          vtypes := (unescape name, List.map parse_prop_decl props) :: !vtypes
-        | "etype" :: name :: props ->
-          etypes := (unescape name, List.map parse_prop_decl props) :: !etypes
-        | [ "triple"; s; e; d ] -> triples := (unescape s, unescape e, unescape d) :: !triples
-        | ("v" | "e") :: _ as fields -> pending := (line, fields) :: !pending
-        | [ "" ] -> ()
-        | _ -> fail "unrecognized line"
-      end)
+      if line <> "" then
+        on_line !lineno (fun () ->
+            match split_tabs line with
+            | [ "gopt-graph v1" ] -> ()
+            | "vtype" :: name :: props ->
+              vtypes := (unescape name, List.map parse_prop_decl props) :: !vtypes
+            | "etype" :: name :: props ->
+              etypes := (unescape name, List.map parse_prop_decl props) :: !etypes
+            | [ "triple"; s; e; d ] ->
+              triples := (unescape s, unescape e, unescape d) :: !triples
+            | ("v" | "e") :: _ as fields -> pending := (!lineno, fields) :: !pending
+            | [ "" ] -> ()
+            | _ -> perr "unrecognized line"))
     lines;
   let schema =
     Schema.create ~vtypes:(List.rev !vtypes) ~etypes:(List.rev !etypes)
       ~triples:(List.rev !triples)
   in
   let b = Property_graph.Builder.create schema in
-  lineno := 0;
   List.iter
-    (fun (_, fields) ->
-      incr lineno;
-      match fields with
-      | "v" :: vtype_name :: props ->
-        let vt =
-          match Schema.find_vtype schema (unescape vtype_name) with
-          | Some vt -> vt
-          | None -> fail (Printf.sprintf "unknown vertex type %S" vtype_name)
-        in
-        ignore (Property_graph.Builder.add_vertex b ~vtype:vt (List.map parse_prop_value props))
-      | "e" :: src :: dst :: etype_name :: props ->
-        let et =
-          match Schema.find_etype schema (unescape etype_name) with
-          | Some et -> et
-          | None -> fail (Printf.sprintf "unknown edge type %S" etype_name)
-        in
-        let src = int_of_string src and dst = int_of_string dst in
-        ignore
-          (Property_graph.Builder.add_edge b ~src ~dst ~etype:et (List.map parse_prop_value props))
-      | _ -> fail "unrecognized entity line")
+    (fun (lineno, fields) ->
+      on_line lineno (fun () ->
+          match fields with
+          | "v" :: vtype_name :: props ->
+            let vt =
+              match Schema.find_vtype schema (unescape vtype_name) with
+              | Some vt -> vt
+              | None -> perr "unknown vertex type %S" vtype_name
+            in
+            ignore
+              (Property_graph.Builder.add_vertex b ~vtype:vt
+                 (List.map parse_prop_value props))
+          | "e" :: src :: dst :: etype_name :: props ->
+            let et =
+              match Schema.find_etype schema (unescape etype_name) with
+              | Some et -> et
+              | None -> perr "unknown edge type %S" etype_name
+            in
+            let src =
+              try int_of_string src with _ -> perr "malformed source id %S" src
+            in
+            let dst =
+              try int_of_string dst with _ -> perr "malformed destination id %S" dst
+            in
+            ignore
+              (Property_graph.Builder.add_edge b ~src ~dst ~etype:et
+                 (List.map parse_prop_value props))
+          | _ -> perr "unrecognized entity line"))
     (List.rev !pending);
   Property_graph.Builder.freeze b
 

@@ -24,7 +24,12 @@ let resolve_vcon schema labels =
     in
     (match Tc.of_list ~universe:(Schema.n_vtypes schema) ids with
     | Some c -> c
-    | None -> assert false)
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Lowering.resolve_vcon: labels [%s] resolved to no representable constraint \
+            over %d vertex types"
+           (String.concat "; " labels) (Schema.n_vtypes schema)))
 
 let resolve_econ schema types =
   match types with
@@ -40,7 +45,12 @@ let resolve_econ schema types =
     in
     (match Tc.of_list ~universe:(Schema.n_etypes schema) ids with
     | Some c -> c
-    | None -> assert false)
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Lowering.resolve_econ: edge types [%s] resolved to no representable \
+            constraint over %d edge types"
+           (String.concat "; " types) (Schema.n_etypes schema)))
 
 let props_pred alias props =
   Expr.conj
@@ -148,7 +158,13 @@ let lower_projection plan (proj : projection) =
       Logical.Project (plan, List.map (fun it ->
           match it.item with
           | Scalar e -> (e, alias_of it)
-          | Agg _ -> assert false)
+          | Agg _ ->
+            (* unreachable: this branch only runs when no item is an Agg *)
+            invalid_arg
+              (Printf.sprintf
+                 "Lowering: aggregate %S in a non-aggregating projection (the checker \
+                  types Group outputs, not bare Project items)"
+                 (alias_of it)))
           proj.items)
   in
   let plan = if proj.distinct then Logical.Dedup (plan, []) else plan in

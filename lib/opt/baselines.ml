@@ -19,6 +19,7 @@ let cypher_planner_config =
     enable_cbo = true;
     cbo_options =
       { Cbo.default_options with max_join_edges = 0 (* expansions only *); greedy_only = true };
+    check_plans = false;
   }
 
 let gs_rbo_config =
@@ -37,6 +38,7 @@ let gs_rbo_config =
     inference_schema = None;
     enable_cbo = false;
     cbo_options = Cbo.default_options;
+    check_plans = false;
   }
 
 let gopt_config spec = Planner.default_config ~spec ()

@@ -142,7 +142,9 @@ let rec greedy_opt gq spec target =
     match List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) cands with
     | [] ->
       (* a connected pattern always has a non-cut vertex *)
-      failwith "Cbo.greedy: no expand candidate (disconnected pattern?)"
+      invalid_arg
+        "Cbo.greedy: no expand candidate — the pattern is disconnected, which PlanCheck \
+         reports on the logical plan before the CBO runs"
     | (_, C_expand { sub_pat; new_vertex; new_edges; anchor }, _) :: _ ->
       let sub_plan = greedy_opt gq spec sub_pat in
       make_expand_plan gq spec target ~sub_plan ~new_vertex ~new_edges ~anchor ~freq

@@ -1,0 +1,237 @@
+module Pattern = Gopt_pattern.Pattern
+module Expr = Gopt_pattern.Expr
+module Logical = Gopt_gir.Logical
+module D = Gopt_check.Diagnostic
+module Et = Gopt_check.Expr_type
+module SS = Set.Make (String)
+
+(* A light bottom-up mirror of Plan_check for Physical.t: every operator's
+   input requirements (expand sources bound, join keys present, expressions
+   typed over the incoming fields) are checked against the typed env its
+   input produces. *)
+
+let node_path p = Physical.node_label p
+
+let check ?schema plan =
+  let diags = ref [] in
+  let err ~path fmt = Printf.ksprintf (fun m -> diags := D.error ~path m :: !diags) fmt in
+  let infer ~path env e =
+    let lookup x = List.assoc_opt x env in
+    let t, ds = Et.infer ?schema ~lookup ~path e in
+    diags := List.rev_append ds !diags;
+    t
+  in
+  let check_pred ~path ~what env e =
+    let t = infer ~path env e in
+    if not (Et.compatible t Et.Bool) then
+      err ~path "%s has type %s (expected bool)" what (Et.to_string t)
+  in
+  let add env (f, t) = if List.mem_assoc f env then env else env @ [ (f, t) ] in
+  let step_fields (s : Physical.edge_step) =
+    let ety =
+      if s.Physical.s_edge.Pattern.e_hops <> None then Et.Path
+      else Et.Edge (Some s.Physical.s_edge.Pattern.e_con)
+    in
+    (ety, (s.Physical.s_to, Et.Node (Some s.Physical.s_to_con)))
+  in
+  let check_step ~path ~expand env (s : Physical.edge_step) =
+    if not (List.mem_assoc s.Physical.s_from env) then
+      err ~path "expand source %S is not bound by the input" s.Physical.s_from;
+    let ety, tof = step_fields s in
+    let env' = add (add env (s.Physical.s_edge.Pattern.e_alias, ety)) tof in
+    (match s.Physical.s_to_pred with
+    | Some p ->
+      check_pred ~path ~what:(Printf.sprintf "target predicate on %S" s.Physical.s_to) env' p
+    | None -> ());
+    ignore expand;
+    env'
+  in
+  let rec go ~common node =
+    let path = node_path node in
+    match node with
+    | Physical.Scan { alias; con; pred } ->
+      let env = [ (alias, Et.Node (Some con)) ] in
+      (match pred with
+      | Some p -> check_pred ~path ~what:(Printf.sprintf "scan predicate on %S" alias) env p
+      | None -> ());
+      env
+    | Physical.Expand_all (x, s) | Physical.Path_expand (x, s) ->
+      let env = go ~common x in
+      check_step ~path ~expand:`All env s
+    | Physical.Expand_into (x, s) ->
+      let env = go ~common x in
+      if not (List.mem_assoc s.Physical.s_to env) then
+        err ~path "ExpandInto target %S is not bound by the input (use ExpandAll)"
+          s.Physical.s_to;
+      check_step ~path ~expand:`Into env s
+    | Physical.Expand_intersect (x, steps) -> begin
+      let env = go ~common x in
+      match steps with
+      | [] ->
+        err ~path "ExpandIntersect with no steps";
+        env
+      | s0 :: rest ->
+        List.iter
+          (fun s ->
+            if s.Physical.s_to <> s0.Physical.s_to then
+              err ~path "ExpandIntersect steps target different vertices (%S vs %S)"
+                s.Physical.s_to s0.Physical.s_to)
+          rest;
+        if List.mem_assoc s0.Physical.s_to env then
+          err ~path "ExpandIntersect target %S is already bound by the input"
+            s0.Physical.s_to;
+        List.fold_left (fun env s -> check_step ~path ~expand:`Intersect env s) env steps
+    end
+    | Physical.Hash_join { left; right; keys; kind } -> begin
+      let lenv = go ~common left and renv = go ~common right in
+      List.iter
+        (fun k ->
+          (match List.assoc_opt k lenv with
+          | None -> err ~path "join key %S is not a field of the left input" k
+          | Some _ -> ());
+          (match List.assoc_opt k renv with
+          | None -> err ~path "join key %S is not a field of the right input" k
+          | Some _ -> ());
+          match (List.assoc_opt k lenv, List.assoc_opt k renv) with
+          | Some l, Some r when not (Et.compatible l r) ->
+            err ~path "join key %S has type %s on the left but %s on the right" k
+              (Et.to_string l) (Et.to_string r)
+          | _ -> ())
+        keys;
+      match kind with
+      | Logical.Semi | Logical.Anti -> lenv
+      | Logical.Inner | Logical.Left_outer -> List.fold_left add lenv renv
+    end
+    | Physical.Select (x, e) ->
+      let env = go ~common x in
+      check_pred ~path ~what:"filter predicate" env e;
+      env
+    | Physical.Project (x, ps) ->
+      let env = go ~common x in
+      let seen = Hashtbl.create 8 in
+      List.map
+        (fun (e, a) ->
+          if Hashtbl.mem seen a then err ~path "duplicate projection alias %S" a;
+          Hashtbl.replace seen a ();
+          (a, infer ~path env e))
+        ps
+    | Physical.Group (x, ks, aggs) ->
+      let env = go ~common x in
+      let seen = Hashtbl.create 8 in
+      let out a =
+        if Hashtbl.mem seen a then err ~path "duplicate GROUP output alias %S" a;
+        Hashtbl.replace seen a ()
+      in
+      let keys = List.map (fun (e, a) -> out a; (a, infer ~path env e)) ks in
+      let afs =
+        List.map
+          (fun (a : Logical.agg) ->
+            out a.Logical.agg_alias;
+            (match a.Logical.agg_arg with
+            | Some e -> ignore (infer ~path env e)
+            | None ->
+              if a.Logical.agg_fn <> Logical.Count then
+                err ~path "aggregate %S requires an argument" a.Logical.agg_alias);
+            (a.Logical.agg_alias, Et.Any))
+          aggs
+      in
+      keys @ afs
+    | Physical.Order (x, ks, lim) ->
+      let env = go ~common x in
+      List.iter
+        (fun (e, _) ->
+          match infer ~path env e with
+          | Et.List _ | Et.Path ->
+            err ~path "ORDER BY on a list/path value has no meaningful order"
+          | _ -> ())
+        ks;
+      (match lim with Some n when n < 0 -> err ~path "negative ORDER top-k %d" n | _ -> ());
+      env
+    | Physical.Limit (x, n) ->
+      let env = go ~common x in
+      if n < 0 then err ~path "negative LIMIT %d" n;
+      env
+    | Physical.Skip (x, n) ->
+      let env = go ~common x in
+      if n < 0 then err ~path "negative SKIP %d" n;
+      env
+    | Physical.Unfold (x, e, alias) ->
+      let env = go ~common x in
+      let t = infer ~path env e in
+      (match t with
+      | Et.List _ | Et.Any -> ()
+      | t -> err ~path "Unfold over a %s value (expected a list)" (Et.to_string t));
+      add env (alias, match t with Et.List t' -> t' | _ -> Et.Any)
+    | Physical.Dedup (x, tags) ->
+      let env = go ~common x in
+      List.iter
+        (fun tag ->
+          if not (List.mem_assoc tag env) then
+            err ~path "DEDUP tag %S is not a field of its input" tag)
+        tags;
+      env
+    | Physical.Union (a, b) ->
+      let lenv = go ~common a and renv = go ~common b in
+      if not (SS.equal (SS.of_list (List.map fst lenv)) (SS.of_list (List.map fst renv)))
+      then
+        err ~path "UNION branches produce different fields: [%s] vs [%s]"
+          (String.concat ", " (List.map fst lenv))
+          (String.concat ", " (List.map fst renv));
+      lenv
+    | Physical.All_distinct (x, tags) ->
+      let env = go ~common x in
+      List.iter
+        (fun tag ->
+          match List.assoc_opt tag env with
+          | None -> err ~path "ALL_DISTINCT tag %S is not a field of its input" tag
+          | Some (Et.Edge _ | Et.Path | Et.Any | Et.List _) -> ()
+          | Some t ->
+            err ~path "ALL_DISTINCT tag %S has type %s (expected an edge or path field)"
+              tag (Et.to_string t))
+        tags;
+      env
+    | Physical.With_common { common = c; left; right; combine } -> begin
+      let cenv = go ~common c in
+      let lenv = go ~common:(Some cenv) left and renv = go ~common:(Some cenv) right in
+      match combine with
+      | Logical.C_union ->
+        if
+          not
+            (SS.equal (SS.of_list (List.map fst lenv)) (SS.of_list (List.map fst renv)))
+        then
+          err ~path "WITH_COMMON(UNION) branches produce different fields: [%s] vs [%s]"
+            (String.concat ", " (List.map fst lenv))
+            (String.concat ", " (List.map fst renv));
+        lenv
+      | Logical.C_join (keys, kind) -> begin
+        List.iter
+          (fun k ->
+            if not (List.mem_assoc k lenv) then
+              err ~path "join key %S is not a field of the left branch" k;
+            if not (List.mem_assoc k renv) then
+              err ~path "join key %S is not a field of the right branch" k)
+          keys;
+        match kind with
+        | Logical.Semi | Logical.Anti -> lenv
+        | Logical.Inner | Logical.Left_outer -> List.fold_left add lenv renv
+      end
+    end
+    | Physical.Common_ref fields -> begin
+      match common with
+      | None ->
+        err ~path "CommonRef outside the scope of a WithCommon operator";
+        List.map (fun f -> (f, Et.Any)) fields
+      | Some cenv ->
+        List.map
+          (fun f ->
+            match List.assoc_opt f cenv with
+            | Some t -> (f, t)
+            | None ->
+              err ~path "CommonRef field %S is not produced by the common sub-plan" f;
+              (f, Et.Any))
+          fields
+    end
+    | Physical.Empty fields -> List.map (fun f -> (f, Et.Any)) fields
+  in
+  let _ = go ~common:None plan in
+  List.rev !diags

@@ -1,0 +1,13 @@
+(** Static well-formedness verification of physical plans — the
+    {!Physical.t} counterpart of {!Gopt_check.Plan_check}.
+
+    Checks, per operator: expand sources ([ExpandAll]/[PathExpand]) and
+    targets ([ExpandInto]) bound by the input; [ExpandIntersect] steps
+    non-empty, converging on one unbound target vertex; join keys present on
+    both sides with compatible types; expressions typed over the incoming
+    fields; [CommonRef] only under [WithCommon], referencing fields the
+    common sub-plan actually produces; union branches field-compatible. *)
+
+val check : ?schema:Gopt_graph.Schema.t -> Physical.t -> Gopt_check.Diagnostic.t list
+(** Diagnostics for a lowered plan, outermost operators first. Each
+    diagnostic's [path] is the offending operator's {!Physical.node_label}. *)

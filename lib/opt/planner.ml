@@ -14,6 +14,7 @@ type config = {
   inference_schema : Gopt_graph.Schema.t option;
   enable_cbo : bool;
   cbo_options : Cbo.options;
+  check_plans : bool;
 }
 
 let default_config ?(spec = Physical_spec.graphscope) () =
@@ -26,6 +27,7 @@ let default_config ?(spec = Physical_spec.graphscope) () =
     inference_schema = None;
     enable_cbo = true;
     cbo_options = Cbo.default_options;
+    check_plans = false;
   }
 
 type report = {
@@ -35,6 +37,7 @@ type report = {
   invalid_patterns : int;
   search_stats : Cbo.search_stats list;
   est_costs : float list;
+  diagnostics : (string * Gopt_check.Diagnostic.t list) list;
 }
 
 (* --- user-order compilation (rule-based-only backends) ------------------ *)
@@ -85,13 +88,19 @@ let binding_groups p ~initially_bound =
   (start, List.rev !groups)
 
 let compile_user_order spec p =
+  if Pattern.n_vertices p = 0 then
+    invalid_arg
+      "Planner.compile_user_order: empty pattern — a Match must bind at least one vertex \
+       (PlanCheck rejects such plans statically)";
   let start, groups = binding_groups p ~initially_bound:[] in
   let input =
     match start with
     | Some i ->
       let v = Pattern.vertex p i in
       Physical.Scan { alias = v.Pattern.v_alias; con = v.Pattern.v_con; pred = v.Pattern.v_pred }
-    | None -> assert false
+    | None ->
+      (* unreachable with initially_bound:[] and a non-empty pattern *)
+      invalid_arg "Planner.compile_user_order: no start vertex for a non-empty pattern"
   in
   List.fold_left
     (fun acc (alias, edges) -> Cbo.compile_expansion spec acc p ~new_vertex_alias:alias edges)
@@ -159,7 +168,18 @@ let compile_continuation gq spec input p ~bound =
           (List.init nv Fun.id)
       in
       match candidates with
-      | [] -> failwith "Planner.compile_continuation: pattern disconnected from bound set"
+      | [] ->
+        let unbound =
+          List.filter_map
+            (fun v -> if bound_v.(v) then None else Some (alias v))
+            (List.init nv Fun.id)
+        in
+        invalid_arg
+          (Printf.sprintf
+             "Planner.compile_continuation: pattern vertices {%s} share no vertex with the \
+              bound set [%s] — PlanCheck reports this as a disconnected PatternCont \
+              component before planning"
+             (String.concat ", " unbound) (String.concat ", " bound))
       | _ ->
         let score v =
           let connecting =
@@ -256,14 +276,35 @@ let plan config gq logical =
   let schema =
     match config.inference_schema with Some s -> s | None -> Gq.schema gq
   in
+  let diagnostics = ref [] in
+  let stage name check x =
+    if config.check_plans then diagnostics := (name, check x) :: !diagnostics;
+    x
+  in
+  let check_logical = Gopt_check.Plan_check.check ~schema in
+  let logical = stage "logical" check_logical logical in
   let l1 =
-    if config.enable_rbo then Rule.fixpoint config.rules logical else (logical, [])
+    if config.enable_rbo then
+      Rule.fixpoint ~check:config.check_plans ~schema config.rules logical
+    else (logical, [])
   in
   let l1, rules_applied = l1 in
   let l1 = if config.enable_field_trim then Rules_pattern.field_trim l1 else l1 in
+  let l1 = stage "rbo" check_logical l1 in
   let l2, invalid_patterns =
     if config.enable_type_inference then infer_pass schema l1 else (l1, 0)
   in
+  let l2 = stage "optimized" check_logical l2 in
+  (* Reject structurally broken plans before the cost-based search runs:
+     the invariants PlanCheck flags as errors are exactly the ones the
+     pattern compilers below cannot handle. *)
+  (if config.check_plans then
+     match Gopt_check.Plan_check.first_error (check_logical l2) with
+     | Some d ->
+       invalid_arg
+         (Printf.sprintf "Planner.plan: ill-formed plan reaches the CBO: %s"
+            (Format.asprintf "%a" Gopt_check.Diagnostic.pp d))
+     | None -> ());
   let search_stats = ref [] and est_costs = ref [] in
   let plan_pattern p =
     if config.enable_type_inference && Ti.infer schema p = Ti.Invalid then
@@ -335,6 +376,7 @@ let plan config gq logical =
       Physical.All_distinct (phys, aliases)
   in
   let phys = to_phys l2 in
+  let phys = stage "physical" (Physical_check.check ~schema) phys in
   ( phys,
     {
       logical_input = logical;
@@ -343,4 +385,5 @@ let plan config gq logical =
       invalid_patterns;
       search_stats = List.rev !search_stats;
       est_costs = List.rev !est_costs;
+      diagnostics = List.rev !diagnostics;
     } )

@@ -21,6 +21,13 @@ type config = {
       (** [false]: patterns compile in user-specified order (the behaviour
           of a rule-based-only backend). *)
   cbo_options : Cbo.options;
+  check_plans : bool;
+      (** Run {!Gopt_check.Plan_check} on the plan at every stage (input,
+          post-RBO, post-inference, physical), verify each RBO rule firing
+          ({!Rule.fixpoint}[ ~check:true] — raises {!Rule.Check_failed} on an
+          unsound rewrite), and reject structurally broken plans with
+          [Invalid_argument] before the CBO runs. Stage diagnostics are
+          collected in {!report.diagnostics}. *)
 }
 
 val default_config : ?spec:Physical_spec.t -> unit -> config
@@ -36,6 +43,10 @@ type report = {
           Empty). *)
   search_stats : Cbo.search_stats list;  (** One entry per CBO-planned pattern. *)
   est_costs : float list;  (** Estimated cost per CBO-planned pattern. *)
+  diagnostics : (string * Gopt_check.Diagnostic.t list) list;
+      (** Per-stage verifier output when [config.check_plans]: ["logical"],
+          ["rbo"], ["optimized"] (both after {!Gopt_check.Plan_check}) and
+          ["physical"] (after {!Physical_check.check}). Empty otherwise. *)
 }
 
 val plan :

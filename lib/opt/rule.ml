@@ -1,14 +1,36 @@
 module Logical = Gopt_gir.Logical
+module Plan_check = Gopt_check.Plan_check
+module Diagnostic = Gopt_check.Diagnostic
 
 type t = {
   name : string;
   apply : Logical.t -> Logical.t option;
 }
 
+exception Check_failed of { rule : string; diag : Diagnostic.t }
+
+let () =
+  Printexc.register_printer (function
+    | Check_failed { rule; diag } ->
+      Some
+        (Printf.sprintf "Rule.Check_failed: rule %S broke a plan invariant: %s" rule
+           (Format.asprintf "%a" Diagnostic.pp diag))
+    | _ -> None)
+
 let make name apply = { name; apply }
 
-let fixpoint ?(max_passes = 20) rules plan =
+let fixpoint ?(max_passes = 20) ?(check = false) ?schema rules plan =
   let log = ref [] in
+  (* In checked mode, re-verify the rewritten subtree after every firing and
+     blame the rule that produced the first broken invariant. The subtree is a
+     plan fragment — its Common_ref ancestors may lie above the rewrite site —
+     so the checker runs in partial mode. *)
+  let verify name node =
+    if check then
+      match Plan_check.first_error (Plan_check.check ?schema ~partial:true node) with
+      | Some diag -> raise (Check_failed { rule = name; diag })
+      | None -> ()
+  in
   (* One top-down sweep: at each node, apply rules until none fires (a rule's
      output may enable another rule at the same node), then recurse. *)
   let rec sweep node =
@@ -17,6 +39,7 @@ let fixpoint ?(max_passes = 20) rules plan =
       else
         match List.find_map (fun r -> Option.map (fun p -> (r.name, p)) (r.apply node)) rules with
         | Some (name, node') ->
+          verify name node';
           log := name :: !log;
           at_node node' (budget - 1)
         | None -> node

@@ -13,11 +13,28 @@ type t = {
           rewriter walks the whole plan; rules never need to recurse. *)
 }
 
+exception
+  Check_failed of {
+    rule : string;  (** The rule whose rewrite broke a plan invariant. *)
+    diag : Gopt_check.Diagnostic.t;  (** The first violated invariant. *)
+  }
+(** Raised by {!fixpoint} in [~check:true] mode. *)
+
 val make : string -> (Gopt_gir.Logical.t -> Gopt_gir.Logical.t option) -> t
 
 val fixpoint :
-  ?max_passes:int -> t list -> Gopt_gir.Logical.t -> Gopt_gir.Logical.t * string list
+  ?max_passes:int ->
+  ?check:bool ->
+  ?schema:Gopt_graph.Schema.t ->
+  t list ->
+  Gopt_gir.Logical.t ->
+  Gopt_gir.Logical.t * string list
 (** Repeatedly sweep the plan top-down, applying the first applicable rule at
     each node, until no rule fires or [max_passes] (default 20) sweeps have
     run. Returns the rewritten plan and the names of rules applied, in
-    order. *)
+    order.
+
+    With [~check:true], {!Gopt_check.Plan_check} re-verifies the rewritten
+    subtree (in partial mode, with [?schema] when given) after every rule
+    firing; the first broken invariant aborts the rewrite with
+    {!Check_failed}, naming the offending rule. *)

@@ -54,5 +54,8 @@ val const_fold : t -> t
 (** Fold constant subexpressions (pure, best-effort: arithmetic, comparisons
     and boolean connectives over constants). *)
 
+val binop_name : binop -> string
+(** Surface-syntax name of a binary operator ("+", "AND", "CONTAINS", ...). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -203,7 +203,7 @@ let test_join_to_pattern_respects_all_distinct () =
          "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) \
           MATCH (a)-[:LIVES_IN]->(ci:City)<-[:LIVES_IN]-(c) RETURN count(*) AS n")
   in
-  let rewritten, applied = Rule.fixpoint (Rp.all @ Rr.all) plan in
+  let rewritten, applied = Rule.fixpoint ~check:true ~schema (Rp.all @ Rr.all) plan in
   Alcotest.(check bool) "join_to_pattern fired" true (List.mem "JoinToPattern" applied);
   let distinct_scopes =
     Logical.fold

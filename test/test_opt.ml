@@ -173,7 +173,7 @@ let test_fixpoint_terminates () =
       ( Logical.Select (Logical.Match p_knows, name_pred "a" "p0"),
         Expr.Binop (Expr.Gt, Expr.Prop ("b", "age"), Expr.Const (Value.Int 20)) )
   in
-  let rewritten, applied = Rule.fixpoint (Rp.all @ Rr.all) plan in
+  let rewritten, applied = Rule.fixpoint ~check:true ~schema (Rp.all @ Rr.all) plan in
   Alcotest.(check bool) "some rules fired" true (applied <> []);
   match rewritten with
   | Logical.Match p ->

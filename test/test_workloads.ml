@@ -83,7 +83,7 @@ let test_qr_rules_fire () =
       end
       else begin
         let plan = lower q in
-        let _, applied = Rule.fixpoint (Rp.all @ Rr.all) plan in
+        let _, applied = Rule.fixpoint ~check:true ~schema (Rp.all @ Rr.all) plan in
         Alcotest.(check bool)
           (Printf.sprintf "%s: %s fires" q.Queries.name rule)
           true (List.mem rule applied)
