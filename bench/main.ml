@@ -627,6 +627,75 @@ let trace () =
     (float_of_int mat.Engine.peak_rows
     /. float_of_int (max 1 out.Gopt.exec_stats.Engine.peak_rows))
 
+(* ------------------------------------------------------------ parallel -- *)
+
+(* Morsel-driven scaling experiment: the same scan-heavy queries at 1/2/4/8
+   workers, wall-clock timed (CPU time would sum across domains and hide any
+   speedup). Results are checked byte-identical across worker counts while
+   we're at it — the determinism contract, at bench scale.
+
+   Speedup is bounded by the cores actually available: on a single-core
+   machine every worker count degenerates to ~1.0x (the morsel machinery
+   then measures its own overhead), which is the expected reading there. *)
+let parallel () =
+  let session = H.ldbc_session H.bench_persons in
+  let graph = Gopt.Session.graph session in
+  let queries =
+    [
+      ( "2hop-count",
+        "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) RETURN count(*) AS c" );
+      ( "group-by",
+        "MATCH (p:Person)-[:KNOWS]->(q:Person) RETURN q.gender AS g, count(*) AS c, \
+         avg(p.birthday) AS ab" );
+      ( "topk",
+        "MATCH (p:Person)-[:KNOWS]->(q:Person) RETURN p.firstName AS n, count(*) AS deg \
+         ORDER BY deg DESC, n ASC LIMIT 10" );
+    ]
+  in
+  let worker_counts = [ 1; 2; 4; 8 ] in
+  Printf.printf "available cores: %d recommended domains\n"
+    (Domain.recommended_domain_count ());
+  let rows =
+    List.map
+      (fun (name, q) ->
+        let physical, _ = Gopt.plan_cypher session q in
+        let time w =
+          let t0 = Unix.gettimeofday () in
+          let b, s = Engine.run ~workers:w graph physical in
+          (Unix.gettimeofday () -. t0, b, s)
+        in
+        (* warm-up, then one timed run per worker count *)
+        ignore (time 1);
+        let t1, b1, _ = time 1 in
+        let timed =
+          List.map
+            (fun w ->
+              let t, b, s = time w in
+              if Batch.n_rows b <> Batch.n_rows b1 then
+                failwith (Printf.sprintf "%s: workers=%d changed the result!" name w);
+              (w, t, s))
+            worker_counts
+        in
+        name :: Printf.sprintf "%d" (Batch.n_rows b1)
+        :: List.concat_map
+             (fun (_, t, (s : Engine.stats)) ->
+               [ Printf.sprintf "%.3fs (%.2fx)" t (t1 /. t);
+                 string_of_int s.Engine.exchange_rows ])
+             timed)
+      queries
+  in
+  H.print_table
+    ~title:
+      (Printf.sprintf
+         "Parallel scaling: morsel-driven engine, wall clock (persons=%d)"
+         H.bench_persons)
+    ~header:
+      ([ "query"; "rows" ]
+      @ List.concat_map
+          (fun w -> [ Printf.sprintf "w=%d" w; "xch rows" ])
+          worker_counts)
+    rows
+
 (* ---------------------------------------------------------------- main -- *)
 
 let experiments =
@@ -648,6 +717,7 @@ let experiments =
     ("ablation_intersect", ablation_intersect);
     ("ablation_selectivity", ablation_selectivity);
     ("trace", trace);
+    ("parallel", parallel);
     ("micro", micro);
   ]
 

@@ -85,8 +85,8 @@ let run_lint session config lang workload query =
     !n_errors;
   if !n_errors > 0 then 1 else 0
 
-let run_main dataset persons accounts seed lang planner backend explain analyze stats_only
-    lint workload load save query =
+let run_main dataset persons accounts seed lang planner backend workers chunk_size
+    explain analyze stats_only lint workload load save query =
   let graph =
     match load with
     | Some path -> Gopt_graph.Graph_io.load path
@@ -142,11 +142,12 @@ let run_main dataset persons accounts seed lang planner backend explain analyze 
       0
     end
     else begin
+      let workers = if workers <= 0 then None else Some workers in
       let t0 = Sys.time () in
       let out =
         match lang with
-        | "cypher" -> Gopt.run_cypher ~config session query
-        | "gremlin" -> Gopt.run_gremlin ~config session query
+        | "cypher" -> Gopt.run_cypher ~config ?chunk_size ?workers session query
+        | "gremlin" -> Gopt.run_gremlin ~config ?chunk_size ?workers session query
         | other -> failwith (Printf.sprintf "unknown language %S (cypher|gremlin)" other)
       in
       let dt = Sys.time () -. t0 in
@@ -155,6 +156,11 @@ let run_main dataset persons accounts seed lang planner backend explain analyze 
         (Gopt_exec.Batch.n_rows out.Gopt.result)
         dt out.Gopt.exec_stats.Gopt_exec.Engine.intermediate_rows
         out.Gopt.exec_stats.Gopt_exec.Engine.edges_touched;
+      if out.Gopt.exec_stats.Gopt_exec.Engine.workers_used > 1 then
+        Printf.printf "-- %d workers; %d exchange rows (%d cells)\n"
+          out.Gopt.exec_stats.Gopt_exec.Engine.workers_used
+          out.Gopt.exec_stats.Gopt_exec.Engine.exchange_rows
+          out.Gopt.exec_stats.Gopt_exec.Engine.exchange_cells;
       if analyze then begin
         print_endline "-- per-operator trace (rows in/out, self cpu time):";
         print_endline (Gopt.render_trace out)
@@ -172,6 +178,19 @@ let lang = Arg.(value & opt string "cypher" & info [ "lang" ] ~doc:"cypher or gr
 let planner = Arg.(value & opt string "gopt" & info [ "planner" ] ~doc:"gopt, cypher or gsrbo")
 let backend =
   Arg.(value & opt string "graphscope" & info [ "backend" ] ~doc:"graphscope or neo4j")
+let workers =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ]
+        ~doc:
+          "execute on the morsel-driven parallel engine with $(docv) OCaml domains \
+           (0 = sequential pipeline). Results are deterministic across worker counts; \
+           speedup requires a multi-core machine")
+let chunk_size =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chunk-size" ] ~doc:"pipelined batch granularity in rows (default 1024)")
 let explain = Arg.(value & flag & info [ "explain" ] ~doc:"show plans instead of executing")
 let analyze =
   Arg.(value & flag & info [ "analyze" ] ~doc:"after executing, print the per-operator trace (EXPLAIN ANALYZE)")
@@ -199,6 +218,7 @@ let cmd =
     (Cmd.info "gopt" ~doc)
     Term.(
       const run_main $ dataset $ persons $ accounts $ seed $ lang $ planner $ backend
-      $ explain $ analyze $ stats_only $ lint $ workload $ load_file $ save_file $ query)
+      $ workers $ chunk_size $ explain $ analyze $ stats_only $ lint $ workload
+      $ load_file $ save_file $ query)
 
 let () = exit (Cmd.eval' cmd)

@@ -45,11 +45,15 @@ let profile_for (config : Planner.config) =
     Engine.graphscope_profile
   else Engine.neo4j_profile
 
-let run_logical ?config ?profile ?budget (s : Session.t) logical =
+let run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers
+    (s : Session.t) logical =
   let config = match config with Some c -> c | None -> Planner.default_config () in
   let profile = match profile with Some p -> p | None -> profile_for config in
   let physical, report = Planner.plan config s.Session.gq logical in
-  let result, exec_stats = Engine.run ~profile ?budget s.Session.graph physical in
+  let result, exec_stats =
+    Engine.run ~profile ?budget ?chunk_size ?morsel_size ?workers s.Session.graph
+      physical
+  in
   { result; exec_stats; report; physical }
 
 let cypher_to_gir ?params (s : Session.t) src =
@@ -59,11 +63,14 @@ let cypher_to_gir ?params (s : Session.t) src =
 let gremlin_to_gir (s : Session.t) src =
   Gopt_lang.Gremlin_parser.parse (Session.schema s) src
 
-let run_cypher ?params ?config ?profile ?budget s src =
-  run_logical ?config ?profile ?budget s (cypher_to_gir ?params s src)
+let run_cypher ?params ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s
+    src =
+  run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s
+    (cypher_to_gir ?params s src)
 
-let run_gremlin ?config ?profile ?budget s src =
-  run_logical ?config ?profile ?budget s (gremlin_to_gir s src)
+let run_gremlin ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s src =
+  run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s
+    (gremlin_to_gir s src)
 
 let plan_cypher ?params ?config s src =
   let config = match config with Some c -> c | None -> Planner.default_config () in
@@ -100,14 +107,26 @@ let render_trace (o : outcome) =
   | Some tr -> Gopt_exec.Op_trace.to_string tr
   | None -> "(no per-operator trace recorded)"
 
-let explain_analyze_cypher ?params ?config ?profile ?budget s src =
-  let o = run_cypher ?params ?config ?profile ?budget s src in
+let explain_analyze_cypher ?params ?config ?profile ?budget ?chunk_size ?morsel_size
+    ?workers s src =
+  let o =
+    run_cypher ?params ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s src
+  in
   let txt =
     Format.asprintf "@[<v>== physical ==@,%a@,== execution ==@,%s@,%d rows, %d edges touched, peak %d live rows@]"
       (Physical.pp ~schema:(Session.schema s))
       o.physical (render_trace o)
       (Batch.n_rows o.result)
       o.exec_stats.Engine.edges_touched o.exec_stats.Engine.peak_rows
+  in
+  let txt =
+    if o.exec_stats.Engine.workers_used > 1 || o.exec_stats.Engine.exchange_rows > 0
+    then
+      txt
+      ^ Printf.sprintf "\n%d workers, %d exchange rows (%d cells)"
+          o.exec_stats.Engine.workers_used o.exec_stats.Engine.exchange_rows
+          o.exec_stats.Engine.exchange_cells
+    else txt
   in
   (o, txt)
 

@@ -48,17 +48,27 @@ val run_cypher :
   ?config:Gopt_opt.Planner.config ->
   ?profile:Gopt_exec.Engine.profile ->
   ?budget:float ->
+  ?chunk_size:int ->
+  ?morsel_size:int ->
+  ?workers:int ->
   Session.t ->
   string ->
   outcome
 (** Parse, optimize and execute a Cypher query. [config] defaults to the
     full GOpt pipeline on the GraphScope spec; [profile] defaults to the
-    matching engine profile; [budget] (CPU seconds) bounds execution. *)
+    matching engine profile; [budget] (CPU seconds) bounds execution;
+    [chunk_size] sets the engine's pipelined batch granularity. [workers]
+    executes on the morsel-driven parallel engine with that many OCaml
+    domains ([morsel_size] rows per work unit); see
+    {!Gopt_exec.Engine.run}. *)
 
 val run_gremlin :
   ?config:Gopt_opt.Planner.config ->
   ?profile:Gopt_exec.Engine.profile ->
   ?budget:float ->
+  ?chunk_size:int ->
+  ?morsel_size:int ->
+  ?workers:int ->
   Session.t ->
   string ->
   outcome
@@ -89,11 +99,16 @@ val explain_analyze_cypher :
   ?config:Gopt_opt.Planner.config ->
   ?profile:Gopt_exec.Engine.profile ->
   ?budget:float ->
+  ?chunk_size:int ->
+  ?morsel_size:int ->
+  ?workers:int ->
   Session.t ->
   string ->
   outcome * string
 (** Optimize {e and} execute, returning the outcome together with a report
-    combining the physical plan with the measured per-operator trace. *)
+    combining the physical plan with the measured per-operator trace. On
+    parallel runs the trace contains exchange nodes with per-worker
+    rollups, and a summary line reports worker and exchange-row counts. *)
 
 val cypher_to_gir :
   ?params:(string * Gopt_graph.Value.t list) list ->

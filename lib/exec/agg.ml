@@ -84,6 +84,43 @@ let update g lk (states : state array) i (a : Logical.agg) =
   | Logical.Collect ->
     st.a_collect <- Eval.eval_rval g lk (Option.get a.Logical.agg_arg) :: st.a_collect
 
+(* [merge a b] folds partial state [b] into [a], as if [b]'s input rows had
+   arrived after [a]'s. Used by the parallel engine's breaker merge: each
+   morsel accumulates its own partial states, merged in morsel order so the
+   result (including float-summation order and COLLECT order) is identical
+   for every worker count. *)
+let merge (a : state) (b : state) (spec : Logical.agg) =
+  match spec.Logical.agg_fn with
+  | Logical.Count -> a.a_count <- a.a_count + b.a_count
+  | Logical.Count_distinct -> begin
+    match b.a_distinct with
+    | None -> ()
+    | Some tb ->
+      let ta =
+        match a.a_distinct with
+        | Some t -> t
+        | None ->
+          let t = KeyTbl.create 16 in
+          a.a_distinct <- Some t;
+          t
+      in
+      KeyTbl.iter (fun k () -> KeyTbl.replace ta k ()) tb
+  end
+  | Logical.Sum | Logical.Avg ->
+    a.a_count <- a.a_count + b.a_count;
+    a.a_sum_i <- a.a_sum_i + b.a_sum_i;
+    a.a_sum_f <- a.a_sum_f +. b.a_sum_f;
+    a.a_is_float <- a.a_is_float || b.a_is_float
+  | Logical.Min ->
+    if not (Value.is_null b.a_min) then
+      if Value.is_null a.a_min || Value.compare b.a_min a.a_min < 0 then a.a_min <- b.a_min
+  | Logical.Max ->
+    if not (Value.is_null b.a_max) then
+      if Value.is_null a.a_max || Value.compare b.a_max a.a_max > 0 then a.a_max <- b.a_max
+  | Logical.Collect ->
+    (* both lists are reversed accumulators; [b]'s rows come later *)
+    a.a_collect <- b.a_collect @ a.a_collect
+
 let finish (st : state) (a : Logical.agg) =
   match a.Logical.agg_fn with
   | Logical.Count -> Rval.Rval (Value.Int st.a_count)

@@ -45,6 +45,30 @@ let of_rows field_list rows =
 let project_to t target_fields row =
   Array.of_list (List.map (fun f -> row.(pos t f)) target_fields)
 
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > n_rows t then
+    invalid_arg
+      (Printf.sprintf "Batch.sub: range [%d, %d) out of bounds (%d rows)" pos (pos + len)
+         (n_rows t));
+  let out = create t.field_list in
+  for i = pos to pos + len - 1 do
+    add out (row t i)
+  done;
+  out
+
+let concat field_list bs =
+  let out = create field_list in
+  List.iter
+    (fun b ->
+      if b.field_list <> field_list then
+        invalid_arg
+          (Printf.sprintf "Batch.concat: layout mismatch ([%s] vs [%s])"
+             (String.concat "; " b.field_list)
+             (String.concat "; " field_list));
+      iter (add out) b)
+    bs;
+  out
+
 let pp g ppf t =
   Format.fprintf ppf "@[<v>%s@," (String.concat " | " t.field_list);
   let n = n_rows t in

@@ -39,6 +39,18 @@ val project_to : t -> string list -> Rval.t array -> Rval.t array
 (** [project_to b target_fields row] reorders [row] (laid out as [b]) into
     the target field order. Used to align UNION branches. *)
 
+val sub : t -> pos:int -> len:int -> t
+(** [sub b ~pos ~len] is a fresh batch with the same layout holding rows
+    [pos .. pos+len-1] (row arrays are shared, not copied). Raises
+    [Invalid_argument] when the range is out of bounds. Morsel-driven
+    execution uses this to split a materialized batch into morsels. *)
+
+val concat : string list -> t list -> t
+(** [concat fields bs] is a fresh batch with layout [fields] holding the
+    rows of every batch of [bs] in order. Each input batch must have
+    exactly the layout [fields] (raises [Invalid_argument] otherwise);
+    row arrays are shared. The exchange merge of the parallel engine. *)
+
 val pp : Gopt_graph.Property_graph.t -> Format.formatter -> t -> unit
 (** Tabular rendering (for examples and debugging); truncates long
     batches. *)

@@ -6,7 +6,11 @@
    re-exported here so existing callers keep matching on [Engine.Timeout] and
    reading [stats] fields unchanged. *)
 
-type profile = Op_trace.profile = { prof_name : string; count_comm : bool }
+type profile = Op_trace.profile = {
+  prof_name : string;
+  count_comm : bool;
+  parallel : bool;
+}
 
 let neo4j_profile = Op_trace.neo4j_profile
 let graphscope_profile = Op_trace.graphscope_profile
@@ -20,10 +24,22 @@ type stats = Op_trace.stats = {
   mutable edges_touched : int;
   mutable peak_rows : int;
   mutable live_rows : int;
+  mutable exchange_rows : int;
+  mutable exchange_cells : int;
+  mutable workers_used : int;
   mutable op_trace : Op_trace.t option;
 }
 
 exception Timeout = Op_trace.Timeout
 
-let run = Operator.run
+(* [workers = Some w] routes through the morsel-driven parallel engine even
+   for [w = 1]: the parallel path's merge ordering is deterministic in the
+   morsel partitioning (not the worker count), so results are byte-identical
+   across worker counts — but may order set-semantics results (GROUP BY
+   without ORDER BY) differently from the sequential push engine. *)
+let run ?profile ?budget ?chunk_size ?morsel_size ?workers g plan =
+  match workers with
+  | Some w -> Parallel.run ?profile ?budget ?chunk_size ?morsel_size ~workers:w g plan
+  | None -> Operator.run ?profile ?budget ?chunk_size g plan
+
 let run_materialized = Engine_reference.run

@@ -27,6 +27,10 @@ type profile = Op_trace.profile = {
   prof_name : string;
   count_comm : bool;
       (** Count produced intermediate rows as simulated communication. *)
+  parallel : bool;
+      (** The backend is a parallel dataflow: rows crossing a worker-merge
+          exchange in the morsel-driven engine are charged to the
+          communication counters. *)
 }
 
 val neo4j_profile : profile
@@ -46,6 +50,11 @@ type stats = Op_trace.stats = {
           this reflects breaker state plus accumulated results and drops
           well below the materialized path's peak. *)
   mutable live_rows : int;  (** Current live rows (internal counter). *)
+  mutable exchange_rows : int;
+      (** Rows that crossed a worker-merge exchange (parallel runs only;
+          0 on sequential runs). *)
+  mutable exchange_cells : int;  (** Exchange rows weighted by row width. *)
+  mutable workers_used : int;  (** Worker domains used by the run (1 = sequential). *)
   mutable op_trace : Op_trace.t option;
       (** Per-operator trace of the last run ({!run} fills it in;
           {!run_materialized} leaves it [None]). *)
@@ -58,11 +67,25 @@ exception Timeout
 val run :
   ?profile:profile ->
   ?budget:float ->
+  ?chunk_size:int ->
+  ?morsel_size:int ->
+  ?workers:int ->
   Gopt_graph.Property_graph.t ->
   Gopt_opt.Physical.t ->
   Batch.t * stats
 (** Execute a plan on the pipelined engine. [profile] defaults to
-    {!graphscope_profile}. *)
+    {!graphscope_profile}; [chunk_size] is the pipelined batch granularity
+    (default 1024).
+
+    [workers] switches to the morsel-driven parallel engine: scans are split
+    into fixed-size morsels dispatched to [workers] OCaml domains, which run
+    clones of the streaming pipeline fragments; pipeline breakers merge the
+    per-worker partial states in morsel order. Results are byte-identical
+    for every [workers] value (including [1]) because all merge points
+    combine partials in morsel order — but plans whose output order is a
+    set-semantics artifact (e.g. GROUP BY without ORDER BY) may order rows
+    differently from the sequential engine. Omit [workers] for the
+    sequential push pipeline. *)
 
 val run_materialized :
   ?profile:profile ->

@@ -8,10 +8,10 @@ type t = {
 
 let make name children = { name; rows_in = 0; rows_out = 0; time_s = 0.0; children }
 
-type profile = { prof_name : string; count_comm : bool }
+type profile = { prof_name : string; count_comm : bool; parallel : bool }
 
-let neo4j_profile = { prof_name = "neo4j"; count_comm = false }
-let graphscope_profile = { prof_name = "graphscope"; count_comm = true }
+let neo4j_profile = { prof_name = "neo4j"; count_comm = false; parallel = false }
+let graphscope_profile = { prof_name = "graphscope"; count_comm = true; parallel = true }
 
 type stats = {
   mutable operators : int;
@@ -22,6 +22,9 @@ type stats = {
   mutable edges_touched : int;
   mutable peak_rows : int;
   mutable live_rows : int;
+  mutable exchange_rows : int;
+  mutable exchange_cells : int;
+  mutable workers_used : int;
   mutable op_trace : t option;
 }
 
@@ -35,6 +38,9 @@ let fresh_stats () =
     edges_touched = 0;
     peak_rows = 0;
     live_rows = 0;
+    exchange_rows = 0;
+    exchange_cells = 0;
+    workers_used = 1;
     op_trace = None;
   }
 
@@ -101,3 +107,38 @@ let to_string tr = Format.asprintf "%a" pp tr
 
 let rec total_time tr =
   tr.time_s +. List.fold_left (fun acc c -> acc +. total_time c) 0.0 tr.children
+
+(* --- structural merging (parallel per-worker rollups) --------------------- *)
+
+let rec same_shape a b =
+  a.name = b.name
+  && List.length a.children = List.length b.children
+  && List.for_all2 same_shape a.children b.children
+
+let rec merge_into dst src =
+  dst.rows_in <- dst.rows_in + src.rows_in;
+  dst.rows_out <- dst.rows_out + src.rows_out;
+  dst.time_s <- dst.time_s +. src.time_s;
+  List.iter2 merge_into dst.children src.children
+
+let rec copy tr =
+  {
+    name = tr.name;
+    rows_in = tr.rows_in;
+    rows_out = tr.rows_out;
+    time_s = tr.time_s;
+    children = List.map copy tr.children;
+  }
+
+(* Fold a list of trace trees into per-shape rollups, preserving first-seen
+   order of distinct shapes. Morsel tasks of one exchange stage usually share
+   a single fragment shape; a UNION stage contributes one per branch. *)
+let rollup traces =
+  let merged : t list ref = ref [] in
+  List.iter
+    (fun tr ->
+      match List.find_opt (fun m -> same_shape m tr) !merged with
+      | Some m -> merge_into m tr
+      | None -> merged := !merged @ [ copy tr ])
+    traces;
+  !merged

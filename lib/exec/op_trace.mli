@@ -20,6 +20,13 @@ type profile = {
   prof_name : string;
   count_comm : bool;
       (** Count produced intermediate rows as simulated communication. *)
+  parallel : bool;
+      (** The backend executes plans as a parallel dataflow: rows crossing a
+          worker-merge exchange are charged to the communication counters
+          (the paper's communication-cost definition applied to the
+          morsel-driven engine). Single-machine profiles leave exchange
+          crossings out of [comm_rows] (they are still tracked in
+          [exchange_rows]). *)
 }
 
 val neo4j_profile : profile
@@ -37,6 +44,11 @@ type stats = {
           reference batches, accumulated results). Drops on pipelined
           plans relative to the materialized reference path. *)
   mutable live_rows : int;  (** Current live rows (internal counter). *)
+  mutable exchange_rows : int;
+      (** Rows that crossed a worker-merge exchange (parallel runs only;
+          0 on sequential runs). *)
+  mutable exchange_cells : int;  (** Exchange rows weighted by row width. *)
+  mutable workers_used : int;  (** Worker domains of the run (1 = sequential). *)
   mutable op_trace : t option;  (** Per-operator trace of the last run. *)
 }
 
@@ -68,3 +80,19 @@ val to_string : t -> string
 
 val total_time : t -> float
 (** Sum of self times over the whole tree. *)
+
+val same_shape : t -> t -> bool
+(** Structural equality of operator names and tree shape (row/time payloads
+    ignored). *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds [src]'s rows and times into [dst], node by
+    node. The trees must have the same shape. *)
+
+val copy : t -> t
+(** Deep copy. *)
+
+val rollup : t list -> t list
+(** Merge a list of trace trees into one rollup per distinct shape
+    (first-seen order). The parallel engine uses this to aggregate the
+    per-morsel fragment traces of one worker into that worker's rollup. *)

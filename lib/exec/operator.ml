@@ -25,7 +25,7 @@ module Vec = Gopt_util.Vec
 
 exception Stop
 
-let chunk_size = 1024
+let default_chunk_size = 1024
 
 type sink = {
   k_consume : Batch.t -> unit;  (** Receive a chunk (never empty). *)
@@ -33,7 +33,84 @@ type sink = {
   k_alive : unit -> bool;  (** Does anything downstream still want rows? *)
 }
 
-let run ?(profile = Op_trace.graphscope_profile) ?budget g plan =
+(* --- shared operator cores ------------------------------------------------ *)
+
+(* Hash-join core shared by this engine and the parallel engine's probe
+   stage ([Parallel]): key extraction, build-side table, and the per-row
+   probe for all four join kinds. *)
+module Join_core = struct
+  type t = {
+    table : Rval.t array list KeyTbl.t;
+    lkeys : int list;
+    rkeys : int list;
+    right_extra_pos : int list;
+    kind : Logical.join_kind;
+    out_fields : string list;
+  }
+
+  let create ~left_fields ~right_fields ~keys ~kind =
+    let l_layout = Batch.create left_fields in
+    let r_layout = Batch.create right_fields in
+    let right_extra =
+      List.filter (fun f -> not (Batch.has_field l_layout f)) right_fields
+    in
+    let out_fields =
+      match kind with
+      | Logical.Semi | Logical.Anti -> left_fields
+      | Logical.Inner | Logical.Left_outer -> left_fields @ right_extra
+    in
+    {
+      table = KeyTbl.create 64;
+      lkeys = List.map (Batch.pos l_layout) keys;
+      rkeys = List.map (Batch.pos r_layout) keys;
+      right_extra_pos = List.map (Batch.pos r_layout) right_extra;
+      kind;
+      out_fields;
+    }
+
+  (* Build rows are consed in arrival order, so matches come back in reverse
+     arrival order — identical in both engines by construction. *)
+  let build t row =
+    let key = List.map (fun p -> row.(p)) t.rkeys in
+    let cur = Option.value ~default:[] (KeyTbl.find_opt t.table key) in
+    KeyTbl.replace t.table key (row :: cur)
+
+  let size t = KeyTbl.fold (fun _ rows n -> n + List.length rows) t.table 0
+
+  let probe t lrow emit =
+    let key = List.map (fun p -> lrow.(p)) t.lkeys in
+    let matches = Option.value ~default:[] (KeyTbl.find_opt t.table key) in
+    let emit_pair rrow =
+      emit
+        (Array.append lrow
+           (Array.of_list (List.map (fun p -> rrow.(p)) t.right_extra_pos)))
+    in
+    match t.kind with
+    | Logical.Inner -> List.iter emit_pair matches
+    | Logical.Left_outer ->
+      if matches = [] then
+        emit (Array.append lrow (Array.make (List.length t.right_extra_pos) Rval.Rnull))
+      else List.iter emit_pair matches
+    | Logical.Semi -> if matches <> [] then emit lrow
+    | Logical.Anti -> if matches = [] then emit lrow
+end
+
+(* ORDER BY comparator over evaluated sort keys, shared with the parallel
+   engine's k-way merge. *)
+let compare_keys ks ka kb =
+  let rec go ks ka kb =
+    match ks, ka, kb with
+    | [], _, _ -> 0
+    | (_, dir) :: ks', a :: ka', b :: kb' ->
+      let c = Value.compare a b in
+      let c = match dir with Logical.Asc -> c | Logical.Desc -> -c in
+      if c <> 0 then c else go ks' ka' kb'
+    | _ -> 0
+  in
+  go ks ka kb
+
+let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
+    ?(chunk_size = default_chunk_size) ?source g plan =
   let schema = G.schema g in
   let vuniv = Schema.n_vtypes schema and euniv = Schema.n_etypes schema in
   let st = Op_trace.fresh_stats () in
@@ -42,10 +119,14 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget g plan =
   let ticks = ref 0 in
   let tick () =
     incr ticks;
-    if !ticks land 8191 = 0 then
-      match budget with
+    if !ticks land 8191 = 0 then begin
+      (match budget with
       | Some b when Sys.time () -. start > b -> raise Op_trace.Timeout
+      | _ -> ());
+      match stop_poll with
+      | Some poll when poll () -> raise Op_trace.Timeout
       | _ -> ()
+    end
   in
   let mk_trace ?(count_op = true) label =
     if count_op then st.Op_trace.operators <- st.Op_trace.operators + 1;
@@ -57,6 +138,8 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget g plan =
     {
       k_consume =
         (fun chunk ->
+          if Batch.n_rows chunk = 0 then
+            invalid_arg "Operator: empty chunk pushed downstream";
           Op_trace.timed clk tr (fun () ->
               tr.Op_trace.rows_in <- tr.Op_trace.rows_in + Batch.n_rows chunk;
               consume chunk));
@@ -207,60 +290,29 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget g plan =
        materializes the build side via [run_build], then streams the probe
        side *)
     let hash_join tr ~left_fields ~right_fields ~keys ~kind ~run_build ~run_probe =
-      let l_layout = Batch.create left_fields in
-      let r_layout = Batch.create right_fields in
-      let lkeys = List.map (Batch.pos l_layout) keys in
-      let rkeys = List.map (Batch.pos r_layout) keys in
-      let right_extra =
-        List.filter (fun f -> not (Batch.has_field l_layout f)) right_fields
-      in
-      let out_fields =
-        match kind with
-        | Logical.Semi | Logical.Anti -> left_fields
-        | Logical.Inner | Logical.Left_outer -> left_fields @ right_extra
-      in
-      let right_extra_pos = List.map (Batch.pos r_layout) right_extra in
-      let table : Rval.t array list KeyTbl.t = KeyTbl.create 64 in
+      let jc = Join_core.create ~left_fields ~right_fields ~keys ~kind in
       let build_sink =
         mk_sink tr ~alive:sink.k_alive ~close:ignore
           ~consume:(fun chunk ->
             Batch.iter
               (fun row ->
                 tick ();
-                let key = List.map (fun p -> row.(p)) rkeys in
-                let cur = Option.value ~default:[] (KeyTbl.find_opt table key) in
-                KeyTbl.replace table key (row :: cur);
+                Join_core.build jc row;
                 Op_trace.live_add st 1)
               chunk)
       in
       let build_tr = run_build build_sink in
-      let emit, close = emitter tr out_fields sink in
+      let emit, close = emitter tr jc.Join_core.out_fields sink in
       let probe_sink =
         mk_sink tr ~alive:sink.k_alive
           ~consume:(fun chunk ->
             Batch.iter
               (fun lrow ->
                 tick ();
-                let key = List.map (fun p -> lrow.(p)) lkeys in
-                let matches = Option.value ~default:[] (KeyTbl.find_opt table key) in
-                let emit_pair rrow =
-                  emit
-                    (Array.append lrow
-                       (Array.of_list (List.map (fun p -> rrow.(p)) right_extra_pos)))
-                in
-                match kind with
-                | Logical.Inner -> List.iter emit_pair matches
-                | Logical.Left_outer ->
-                  if matches = [] then
-                    emit
-                      (Array.append lrow
-                         (Array.make (List.length right_extra_pos) Rval.Rnull))
-                  else List.iter emit_pair matches
-                | Logical.Semi -> if matches <> [] then emit lrow
-                | Logical.Anti -> if matches = [] then emit lrow)
+                Join_core.probe jc lrow emit)
               chunk)
           ~close:(fun () ->
-            Op_trace.live_sub st (KeyTbl.fold (fun _ rows n -> n + List.length rows) table 0);
+            Op_trace.live_sub st (Join_core.size jc);
             close ())
       in
       let probe_tr = run_probe probe_sink in
@@ -562,18 +614,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget g plan =
       let layout = Batch.create fields in
       let tr = mk_trace (label plan) in
       let emit, close_down = emitter tr fields sink in
-      let cmp (ka, _) (kb, _) =
-        let rec go ks ka kb =
-          match ks, ka, kb with
-          | [], _, _ -> 0
-          | (_, dir) :: ks', a :: ka', b :: kb' ->
-            let c = Value.compare a b in
-            let c = match dir with Logical.Asc -> c | Logical.Desc -> -c in
-            if c <> 0 then c else go ks' ka' kb'
-          | _ -> 0
-        in
-        go ks ka kb
-      in
+      let cmp (ka, _) (kb, _) = compare_keys ks ka kb in
       let buf : (Value.t list * Rval.t array) Vec.t = Vec.create () in
       (* with a limit, keep the buffer bounded: sort-and-truncate whenever it
          overflows a small multiple of the target (amortized O(n log k)) *)
@@ -769,6 +810,6 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget g plan =
       tr
   in
   let result, final_sink = collector (Physical.output_fields plan) in
-  let root_tr = run_plan None plan final_sink in
+  let root_tr = run_plan source plan final_sink in
   st.Op_trace.op_trace <- Some root_tr;
   (result, st)

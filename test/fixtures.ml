@@ -96,3 +96,28 @@ let p_to_city =
   Pattern.create
     [| pv "a" Tc.All; pv "b" (Tc.Basic city) |]
     [| pe "e" 0 1 Tc.All |]
+
+(* Does the plan cut its row set at a boundary where ties may sit
+   (LIMIT/SKIP, or ORDER BY with a fused top-k)? Any engine, chunk size or
+   worker count may legitimately keep a different subset of tied rows, so
+   differential tests fall back to cardinality comparison for such plans. *)
+let rec plan_has_tie_cut (p : Gopt_opt.Physical.t) =
+  let module P = Gopt_opt.Physical in
+  match p with
+  | P.Limit _ | P.Skip _ -> true
+  | P.Order (x, _, lim) -> lim <> None || plan_has_tie_cut x
+  | P.Scan _ | P.Common_ref _ | P.Empty _ -> false
+  | P.Expand_all (x, _)
+  | P.Expand_into (x, _)
+  | P.Expand_intersect (x, _)
+  | P.Path_expand (x, _)
+  | P.Select (x, _)
+  | P.Project (x, _)
+  | P.Group (x, _, _)
+  | P.Unfold (x, _, _)
+  | P.Dedup (x, _)
+  | P.All_distinct (x, _) -> plan_has_tie_cut x
+  | P.Hash_join { left; right; _ } -> plan_has_tie_cut left || plan_has_tie_cut right
+  | P.Union (a, b) -> plan_has_tie_cut a || plan_has_tie_cut b
+  | P.With_common { common; left; right; _ } ->
+    plan_has_tie_cut common || plan_has_tie_cut left || plan_has_tie_cut right

@@ -1,0 +1,184 @@
+(* Seeded random Cypher generator over the Fixtures schema, for the
+   differential tests in [test_parallel]. Every query this module emits is
+   syntactically valid, schema-clean (labels, edge triples and properties
+   all exist), and deterministic in the seed: equal seeds produce equal
+   query strings.
+
+   Shape: a connected linear MATCH pattern of 1–3 edges following the
+   schema's triples in either direction (occasionally with a variable-length
+   KNOWS segment), an optional WHERE over the bound variables, and a RETURN
+   that is either a plain (optionally DISTINCT) projection or an implicit
+   group-by with aggregates — optionally followed by ORDER BY / SKIP /
+   LIMIT, and occasionally wrapped into a UNION of two compatible halves. *)
+
+module Prng = Gopt_util.Prng
+
+type vlabel = Person | City | Product
+
+let vname = function Person -> "Person" | City -> "City" | Product -> "Product"
+
+(* schema triples: (src label, edge type, dst label) *)
+let triples =
+  [|
+    (Person, "KNOWS", Person);
+    (Person, "LIVES_IN", City);
+    (Product, "PRODUCED_IN", City);
+    (Person, "PURCHASED", Product);
+  |]
+
+(* properties per label, with the generators used to build comparison
+   constants (Fixtures-style names: p0.., c0.., g0..) *)
+let props = function
+  | Person -> [| ("name", `Str 'p'); ("age", `Age) |]
+  | City -> [| ("name", `Str 'c') |]
+  | Product -> [| ("name", `Str 'g') |]
+
+let const rng = function
+  | `Str prefix -> Printf.sprintf "'%c%d'" prefix (Prng.int rng 8)
+  | `Age -> string_of_int (Prng.int_in rng 18 60)
+
+type node = { var : string; label : vlabel }
+
+(* a connected chain v0 -e0- v1 -e1- ... rendered as one MATCH path *)
+let gen_pattern rng =
+  let n_edges = Prng.int_in rng 1 3 in
+  let start = [| Person; City; Product |].(Prng.int rng 3) in
+  let nodes = ref [ { var = "v0"; label = start } ] in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "(v0:%s)" (vname start));
+  for i = 1 to n_edges do
+    let cur = (List.hd !nodes).label in
+    let candidates =
+      Array.to_list triples
+      |> List.concat_map (fun (s, e, d) ->
+             (if s = cur then [ (e, d, true) ] else [])
+             @ if d = cur then [ (e, s, false) ] else [])
+    in
+    (* every label has at least one incident triple, so this is non-empty *)
+    let e, next_label, forward = List.nth candidates (Prng.int rng (List.length candidates)) in
+    let var = Printf.sprintf "v%d" i in
+    let hops =
+      if e = "KNOWS" && Prng.int rng 10 = 0 then
+        Printf.sprintf "*1..%d" (Prng.int_in rng 1 2)
+      else ""
+    in
+    Buffer.add_string buf
+      (if forward then Printf.sprintf "-[:%s%s]->(%s:%s)" e hops var (vname next_label)
+       else Printf.sprintf "<-[:%s%s]-(%s:%s)" e hops var (vname next_label));
+    nodes := { var; label = next_label } :: !nodes
+  done;
+  (Buffer.contents buf, List.rev !nodes)
+
+let gen_pred rng (nodes : node list) =
+  let node = List.nth nodes (Prng.int rng (List.length nodes)) in
+  let prop, kind = Prng.choice rng (props node.label) in
+  let op =
+    match kind with
+    | `Age -> [| ">"; "<"; ">="; "<="; "="; "<>" |].(Prng.int rng 6)
+    | `Str _ -> [| "="; "<>" |].(Prng.int rng 2)
+  in
+  Printf.sprintf "%s.%s %s %s" node.var prop op (const rng kind)
+
+let gen_where rng nodes =
+  match Prng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> ""
+  | 4 | 5 | 6 -> Printf.sprintf " WHERE %s" (gen_pred rng nodes)
+  | _ ->
+    let conn = if Prng.bool rng then "AND" else "OR" in
+    Printf.sprintf " WHERE %s %s %s" (gen_pred rng nodes) conn (gen_pred rng nodes)
+
+(* a projection item: var.prop (vertex-valued items are deliberately left
+   out so results render as scalars in every engine) *)
+let gen_item rng nodes =
+  let node = List.nth nodes (Prng.int rng (List.length nodes)) in
+  let prop, _ = Prng.choice rng (props node.label) in
+  Printf.sprintf "%s.%s" node.var prop
+
+(* an aggregate item; [sortable = false] for list-valued aggregates, which
+   must not appear under ORDER BY *)
+let gen_agg rng nodes alias =
+  match Prng.int rng 7 with
+  | 0 -> (Printf.sprintf "count(*) AS %s" alias, true)
+  | 1 -> (Printf.sprintf "count(DISTINCT %s) AS %s" (gen_item rng nodes) alias, true)
+  | 2 ->
+    let persons = List.filter (fun n -> n.label = Person) nodes in
+    if persons = [] then (Printf.sprintf "count(*) AS %s" alias, true)
+    else
+      (* ages are ints, so partial-sum merge order cannot perturb the float
+         result — keeps the oracle comparison exact *)
+      ( Printf.sprintf "%s(%s.age) AS %s"
+          [| "sum"; "avg" |].(Prng.int rng 2)
+          (List.nth persons (Prng.int rng (List.length persons))).var alias,
+        true )
+  | 3 -> (Printf.sprintf "min(%s) AS %s" (gen_item rng nodes) alias, true)
+  | 4 -> (Printf.sprintf "max(%s) AS %s" (gen_item rng nodes) alias, true)
+  | 5 -> (Printf.sprintf "collect(%s) AS %s" (gen_item rng nodes) alias, false)
+  | _ -> (Printf.sprintf "count(*) AS %s" alias, true)
+
+(* RETURN clause; returns (clause body, output aliases usable in ORDER BY) *)
+let gen_return rng nodes =
+  if Prng.int rng 5 < 2 then begin
+    (* implicit group-by: 0–1 keys plus 1–2 aggregates *)
+    let keys =
+      if Prng.bool rng then [ Printf.sprintf "%s AS k0" (gen_item rng nodes) ] else []
+    in
+    let n_aggs = Prng.int_in rng 1 2 in
+    let aggs = List.init n_aggs (fun i -> gen_agg rng nodes (Printf.sprintf "a%d" i)) in
+    let aliases =
+      List.mapi (fun i _ -> Printf.sprintf "k%d" i) keys
+      @ List.concat
+          (List.mapi
+             (fun i (_, sortable) -> if sortable then [ Printf.sprintf "a%d" i ] else [])
+             aggs)
+    in
+    (String.concat ", " (keys @ List.map fst aggs), aliases)
+  end
+  else begin
+    let n = Prng.int_in rng 1 3 in
+    let items =
+      List.init n (fun i -> Printf.sprintf "%s AS o%d" (gen_item rng nodes) i)
+    in
+    let distinct = if Prng.int rng 5 = 0 then "DISTINCT " else "" in
+    (distinct ^ String.concat ", " items, List.init n (Printf.sprintf "o%d"))
+  end
+
+let gen_tail rng aliases =
+  let order =
+    if Prng.bool rng && aliases <> [] then begin
+      let ks =
+        Gopt_util.Prng.sample_distinct rng ~n:(List.length aliases)
+          ~k:(Prng.int_in rng 1 2)
+        |> List.map (fun i ->
+               Printf.sprintf "%s %s" (List.nth aliases i)
+                 (if Prng.bool rng then "ASC" else "DESC"))
+      in
+      Printf.sprintf " ORDER BY %s" (String.concat ", " ks)
+    end
+    else ""
+  in
+  let skip = if Prng.int rng 5 = 0 then Printf.sprintf " SKIP %d" (Prng.int rng 6) else "" in
+  let limit =
+    if Prng.int rng 5 < 2 then Printf.sprintf " LIMIT %d" (Prng.int_in rng 1 10) else ""
+  in
+  order ^ skip ^ limit
+
+let gen_single rng =
+  let pattern, nodes = gen_pattern rng in
+  let where = gen_where rng nodes in
+  let ret, aliases = gen_return rng nodes in
+  let tail = gen_tail rng aliases in
+  Printf.sprintf "MATCH %s%s RETURN %s%s" pattern where ret tail
+
+(* a UNION-compatible half: single-label scan projecting one alias *)
+let gen_union_half rng =
+  let label = [| Person; City; Product |].(Prng.int rng 3) in
+  let node = { var = "v0"; label } in
+  let where = gen_where rng [ node ] in
+  Printf.sprintf "MATCH (v0:%s)%s RETURN v0.name AS n" (vname label) where
+
+let generate seed =
+  let rng = Prng.create seed in
+  if Prng.int rng 10 = 0 then
+    let all = if Prng.bool rng then " ALL" else "" in
+    Printf.sprintf "%s UNION%s %s" (gen_union_half rng) all (gen_union_half rng)
+  else gen_single rng

@@ -150,6 +150,75 @@ let prop_iso_code_detects_direction =
       in
       not (Canonical.iso_equal fwd bwd))
 
+(* --- batches and chunking ---------------------------------------------------- *)
+
+module Batch = Gopt_exec.Batch
+module Rval = Gopt_exec.Rval
+module Physical = Gopt_opt.Physical
+module Engine = Gopt_exec.Engine
+
+let rows_of b =
+  let rows = ref [] in
+  Batch.iter (fun row -> rows := Array.to_list row :: !rows) b;
+  List.rev !rows
+
+(* morsel-style splitting: chopping a batch into [sub] slices of any
+   granularity and re-[concat]ing them is the identity (the parallel
+   engine's partition step relies on exactly this) *)
+let prop_batch_sub_concat_identity =
+  QCheck.Test.make ~name:"batch: sub/concat roundtrip identity" ~count:300
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let fields = List.init (1 + Prng.int rng 4) (Printf.sprintf "f%d") in
+      let b = Batch.create fields in
+      let n = Prng.int rng 60 in
+      for _ = 1 to n do
+        Batch.add b
+          (Array.of_list
+             (List.map (fun _ -> Rval.Rval (Value.Int (Prng.int rng 100))) fields))
+      done;
+      let m = 1 + Prng.int rng 8 in
+      let rec slices pos acc =
+        if pos >= n then List.rev acc
+        else
+          let len = min m (n - pos) in
+          slices (pos + len) (Batch.sub b ~pos ~len :: acc)
+      in
+      let back = Batch.concat fields (slices 0 []) in
+      Batch.fields back = fields && rows_of back = rows_of b)
+
+let prop_batch_pos_agree =
+  QCheck.Test.make ~name:"batch: pos and pos_opt agree" ~count:300 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let fields = List.init (1 + Prng.int rng 5) (Printf.sprintf "f%d") in
+      let b = Batch.create fields in
+      List.for_all (fun f -> Batch.pos_opt b f = Some (Batch.pos b f)) fields
+      && Batch.pos_opt b "absent" = None
+      && (not (Batch.has_field b "absent"))
+      && (match Batch.pos b "absent" with
+         | exception Invalid_argument _ -> true
+         | _ -> false))
+
+(* chunk flushing at fuzzed granularities: the pipelined engine must emit
+   the same rows at any chunk_size, and never push an empty chunk (the
+   engine's sink guard raises Invalid_argument if one ever appears) *)
+let prop_chunk_size_fuzz =
+  QCheck.Test.make ~name:"engine: fuzzed chunk_size is behaviour-neutral" ~count:150
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let cs = 1 + Prng.int rng 9 in
+      let scan = Physical.Scan { alias = "a"; con = Tc.Basic person; pred = None } in
+      (* union doubles the 4 persons; limit forces mid-chunk cut-offs and
+         close-time flushes right at chunk boundaries *)
+      let k = Prng.int rng 10 in
+      let plan = Physical.Limit (Physical.Union (scan, scan), k) in
+      let b, _ = Engine.run ~chunk_size:cs graph plan in
+      let bp, _ =
+        Engine.run ~chunk_size:cs ~workers:2 ~morsel_size:(1 + Prng.int rng 3) graph plan
+      in
+      Batch.n_rows b = min k 8 && Batch.n_rows bp = min k 8)
+
 (* --- containers and RNG ------------------------------------------------------ *)
 
 let prop_vec_behaves_like_list =
@@ -214,6 +283,13 @@ let () =
       ( "canonical",
         List.map QCheck_alcotest.to_alcotest
           [ prop_keyed_code_injective_on_structure; prop_iso_code_detects_direction ] );
+      ( "batch",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_batch_sub_concat_identity;
+            prop_batch_pos_agree;
+            prop_chunk_size_fuzz;
+          ] );
       ( "containers",
         List.map QCheck_alcotest.to_alcotest
           [

@@ -316,6 +316,34 @@ let test_differential_workloads () =
         true (s_mat.Engine.op_trace = None))
     (Queries.comprehensive @ Queries.qr @ Queries.qt @ Queries.qc)
 
+(* chunk_size is behaviour-neutral: the full workload suite at pathological
+   batch granularities (1 and 7) must return exactly the default's rows.
+   Plans that cut on possibly-tied boundaries (LIMIT / top-k) may keep a
+   different-but-equally-valid subset of tied rows, so those compare by
+   cardinality. *)
+let test_chunk_size_neutral () =
+  let g = Gopt_workloads.Ldbc.generate ~persons:60 () in
+  let session = Gopt.Session.create g in
+  List.iter
+    (fun (q : Queries.query) ->
+      let physical, _ = Gopt.plan_cypher session q.Queries.cypher in
+      let b_ref, _ = Engine.run g physical in
+      List.iter
+        (fun cs ->
+          let b, _ = Engine.run ~chunk_size:cs g physical in
+          let name = Printf.sprintf "%s @ chunk_size=%d" q.Queries.name cs in
+          Alcotest.(check (list string))
+            (name ^ ": fields") (Batch.fields b_ref) (Batch.fields b);
+          if plan_has_tie_cut physical then
+            Alcotest.(check int) (name ^ ": rows") (Batch.n_rows b_ref) (Batch.n_rows b)
+          else
+            Alcotest.(check bool)
+              (name ^ ": same rows")
+              true
+              (List.equal (List.equal Rval.equal) (canon_rows b_ref) (canon_rows b)))
+        [ 1; 7 ])
+    (Queries.comprehensive @ Queries.qr @ Queries.qt @ Queries.qc)
+
 let test_limit_short_circuit () =
   (* big enough that the full expansion dwarfs one 1024-row chunk — the
      stop signal's granularity *)
@@ -444,6 +472,7 @@ let () =
       ( "pipelined-vs-materialized",
         [
           Alcotest.test_case "workload differential" `Quick test_differential_workloads;
+          Alcotest.test_case "chunk-size neutrality" `Quick test_chunk_size_neutral;
           Alcotest.test_case "limit short-circuit" `Quick test_limit_short_circuit;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_planners_agree ]);

@@ -1,0 +1,276 @@
+(* Differential and determinism tests for the morsel-driven parallel engine
+   (Gopt_exec.Parallel, reached through [Engine.run ~workers]).
+
+   The core claims under test:
+
+   1. Worker-count invisibility — for any plan, [run ~workers:1] and
+      [run ~workers:4] produce BYTE-IDENTICAL output (same rows, same
+      order, same float bit patterns), because morsel partitioning depends
+      only on (plan, graph, morsel_size) and every merge point folds
+      partials in morsel-index order.
+
+   2. Agreement with the sequential engines — the parallel result is the
+      same bag of rows as [Engine.run_materialized] (and hence the
+      pipelined sequential engine, which test_exec already checks against
+      it). Plans that cut at possibly-tied boundaries (LIMIT / SKIP /
+      fused top-k) may legitimately keep a different subset of tied rows,
+      so those queries compare by cardinality instead.
+
+   Claims are exercised on ~220 randomly generated Cypher queries
+   (see [Gen_query]; failures print the seed and the query so runs can be
+   replayed), on the full LDBC workload suite, and on a repeated-run
+   determinism check cycling through worker counts. *)
+
+module Engine = Gopt_exec.Engine
+module Batch = Gopt_exec.Batch
+module Rval = Gopt_exec.Rval
+module Op_trace = Gopt_exec.Op_trace
+module G = Gopt_graph.Property_graph
+module Value = Gopt_graph.Value
+module Prng = Gopt_util.Prng
+open Fixtures
+
+(* A larger instance of the Fixtures schema, sized so that morsel_size 16
+   splits every scan into several morsels (90 persons -> 6 morsels).
+   Property values reuse the Fixtures naming scheme ('p0'..'p7', ...) so the
+   constants produced by [Gen_query] select non-trivial subsets, and the
+   mod-8 names create genuine duplicate keys for DISTINCT / group-by. *)
+let big_graph =
+  let rng = Prng.create 7 in
+  let b = G.Builder.create schema in
+  let persons =
+    Array.init 90 (fun i ->
+        G.Builder.add_vertex b ~vtype:person
+          [
+            ("name", Value.Str (Printf.sprintf "p%d" (i mod 8)));
+            ("age", Value.Int (Prng.int_in rng 18 60));
+          ])
+  in
+  let cities =
+    Array.init 6 (fun i ->
+        G.Builder.add_vertex b ~vtype:city
+          [ ("name", Value.Str (Printf.sprintf "c%d" i)) ])
+  in
+  let products =
+    Array.init 12 (fun i ->
+        G.Builder.add_vertex b ~vtype:product
+          [ ("name", Value.Str (Printf.sprintf "g%d" (i mod 8))) ])
+  in
+  let pick a = a.(Prng.int rng (Array.length a)) in
+  Array.iter
+    (fun p ->
+      for _ = 1 to Prng.int rng 4 do
+        ignore
+          (G.Builder.add_edge b ~src:p ~dst:(pick persons) ~etype:knows
+             [ ("since", Value.Int (Prng.int_in rng 2000 2024)) ])
+      done;
+      ignore (G.Builder.add_edge b ~src:p ~dst:(pick cities) ~etype:lives_in []);
+      for _ = 1 to Prng.int rng 3 do
+        ignore (G.Builder.add_edge b ~src:p ~dst:(pick products) ~etype:purchased [])
+      done)
+    persons;
+  Array.iter
+    (fun g ->
+      ignore (G.Builder.add_edge b ~src:g ~dst:(pick cities) ~etype:produced_in []))
+    products;
+  G.Builder.freeze b
+
+let session = lazy (Gopt.Session.create big_graph)
+
+(* Full textual render of a batch — fields, then every row in order. Two
+   batches render equal iff they are byte-identical (order included). *)
+let render g b =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "|" (Batch.fields b));
+  Batch.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Array.iter
+        (fun v ->
+          Buffer.add_string buf (Format.asprintf "%a" (Rval.pp g) v);
+          Buffer.add_char buf '|')
+        row)
+    b;
+  Buffer.contents buf
+
+let canon_rows b =
+  let rows = ref [] in
+  Batch.iter (fun row -> rows := Array.to_list row :: !rows) b;
+  List.sort (List.compare Rval.compare) !rows
+
+(* One differential check: workers:1 vs workers:4 byte-identical, then both
+   against the materialized oracle (bag equality, or cardinality when the
+   plan cuts on possibly-tied boundaries). *)
+let check_one ~name ~g physical =
+  let b1, _ = Engine.run ~workers:1 ~morsel_size:16 g physical in
+  let b4, s4 = Engine.run ~workers:4 ~morsel_size:16 g physical in
+  Alcotest.(check string) (name ^ ": workers 1 = workers 4") (render g b1) (render g b4);
+  Alcotest.(check bool) (name ^ ": parallel trace present") true (s4.Engine.op_trace <> None);
+  let b_mat, _ = Engine.run_materialized g physical in
+  Alcotest.(check (list string))
+    (name ^ ": fields vs oracle") (Batch.fields b_mat) (Batch.fields b4);
+  if plan_has_tie_cut physical then
+    Alcotest.(check int) (name ^ ": rows vs oracle") (Batch.n_rows b_mat) (Batch.n_rows b4)
+  else
+    Alcotest.(check bool)
+      (name ^ ": same bag as oracle")
+      true
+      (List.equal (List.equal Rval.equal) (canon_rows b_mat) (canon_rows b4))
+
+(* satellite 1: ~220 random queries through the full pipeline *)
+let n_random = 220
+
+let test_random_differential () =
+  let s = Lazy.force session in
+  for seed = 0 to n_random - 1 do
+    let q = Gen_query.generate seed in
+    match Gopt.plan_cypher s q with
+    | physical, _ -> (
+      try check_one ~name:(Printf.sprintf "seed %d" seed) ~g:big_graph physical
+      with e ->
+        (* attach the reproduction recipe: the seed and the exact query *)
+        Alcotest.failf "seed %d: %s\nquery:\n  %s" seed (Printexc.to_string e) q)
+    | exception e ->
+      Alcotest.failf "seed %d failed to plan (%s); query:\n  %s" seed
+        (Printexc.to_string e) q
+  done
+
+(* satellite 1 (workload half): the full LDBC workload suite at workers=4
+   matches workers=1 exactly, and the oracle up to tie cuts *)
+module Queries = Gopt_workloads.Queries
+
+let test_workload_differential () =
+  let g = Gopt_workloads.Ldbc.generate ~persons:60 () in
+  let s = Gopt.Session.create g in
+  List.iter
+    (fun (q : Queries.query) ->
+      let physical, _ = Gopt.plan_cypher s q.Queries.cypher in
+      let b1, _ = Engine.run ~workers:1 ~morsel_size:32 g physical in
+      let b4, _ = Engine.run ~workers:4 ~morsel_size:32 g physical in
+      Alcotest.(check string)
+        (q.Queries.name ^ ": workers 1 = workers 4")
+        (render g b1) (render g b4);
+      let b_mat, _ = Engine.run_materialized g physical in
+      Alcotest.(check (list string))
+        (q.Queries.name ^ ": fields vs oracle")
+        (Batch.fields b_mat) (Batch.fields b4);
+      if plan_has_tie_cut physical then
+        Alcotest.(check int)
+          (q.Queries.name ^ ": rows vs oracle")
+          (Batch.n_rows b_mat) (Batch.n_rows b4)
+      else
+        Alcotest.(check bool)
+          (q.Queries.name ^ ": same bag as oracle")
+          true
+          (List.equal (List.equal Rval.equal) (canon_rows b_mat) (canon_rows b4)))
+    (Queries.comprehensive @ Queries.qr @ Queries.qt @ Queries.qc)
+
+(* satellite 4: repeated runs with different worker counts are byte-identical —
+   including LIMIT + ORDER BY (tie-cutting top-k) and top-level aggregation
+   (float-summing merge), the two places nondeterminism would show first *)
+let determinism_queries =
+  [
+    "MATCH (p:Person)-[:KNOWS]->(q:Person) RETURN q.name AS n, count(*) AS c \
+     ORDER BY c DESC, n ASC LIMIT 8";
+    "MATCH (p:Person)-[:KNOWS]->(q:Person) RETURN count(*) AS c, sum(p.age) AS s, \
+     avg(q.age) AS a";
+    "MATCH (p:Person) RETURN p.age AS a, collect(p.name) AS ns ORDER BY a ASC LIMIT 5";
+  ]
+
+let test_determinism () =
+  let s = Lazy.force session in
+  List.iter
+    (fun q ->
+      let physical, _ = Gopt.plan_cypher s q in
+      let reference =
+        render big_graph (fst (Engine.run ~workers:1 ~morsel_size:16 big_graph physical))
+      in
+      List.iteri
+        (fun i w ->
+          let out =
+            render big_graph
+              (fst (Engine.run ~workers:w ~morsel_size:16 big_graph physical))
+          in
+          Alcotest.(check string) (Printf.sprintf "%s: run %d (workers=%d)" q i w)
+            reference out)
+        [ 1; 2; 3; 4; 8; 2; 4; 8; 3; 1 ])
+    determinism_queries
+
+(* exchange accounting: workers_used is recorded, exchange rows are counted,
+   and they feed comm_rows only under a parallel profile *)
+let test_parallel_accounting () =
+  let s = Lazy.force session in
+  let physical, _ =
+    Gopt.plan_cypher s "MATCH (p:Person)-[:KNOWS]->(q:Person) RETURN count(*) AS c"
+  in
+  let _, gs =
+    Engine.run ~profile:Engine.graphscope_profile ~workers:3 ~morsel_size:16 big_graph
+      physical
+  in
+  Alcotest.(check int) "workers_used" 3 gs.Engine.workers_used;
+  Alcotest.(check bool) "exchange rows counted" true (gs.Engine.exchange_rows > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "exchange (%d rows) charged to comm (%d rows)"
+       gs.Engine.exchange_rows gs.Engine.comm_rows)
+    true
+    (gs.Engine.comm_rows >= gs.Engine.exchange_rows);
+  (match gs.Engine.op_trace with
+  | None -> Alcotest.fail "no trace on parallel run"
+  | Some tr ->
+    let txt = Op_trace.to_string tr in
+    let contains needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "trace has exchange node" true (contains "exchange[" txt);
+    Alcotest.(check bool) "trace has worker rollups" true (contains "worker " txt));
+  let _, n4 =
+    Engine.run ~profile:Engine.neo4j_profile ~workers:3 ~morsel_size:16 big_graph
+      physical
+  in
+  Alcotest.(check bool) "neo4j profile still records exchange" true
+    (n4.Engine.exchange_rows > 0);
+  Alcotest.(check int) "neo4j profile charges no comm" 0 n4.Engine.comm_rows
+
+(* the generator itself: deterministic in the seed, and every query it emits
+   is clean under the static checker *)
+let test_generator_deterministic () =
+  for seed = 0 to 49 do
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d stable" seed)
+      (Gen_query.generate seed) (Gen_query.generate seed)
+  done
+
+let test_generator_clean () =
+  let s = Lazy.force session in
+  for seed = 0 to n_random - 1 do
+    let q = Gen_query.generate seed in
+    (* unused-binding warnings are expected — random projections rarely touch
+       every pattern variable — but any static ERROR means the generator
+       emitted an ill-formed query *)
+    match Gopt_check.Diagnostic.errors (Gopt.check_cypher s q) with
+    | [] -> ()
+    | errs ->
+      Alcotest.failf "seed %d: generator emitted an erroneous query:\n  %s\n%s" seed q
+        (Gopt.render_diagnostics errs)
+  done
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "random queries (220 seeds)" `Quick test_random_differential;
+          Alcotest.test_case "workload suite" `Quick test_workload_differential;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "10 runs, varying workers" `Quick test_determinism ] );
+      ( "accounting",
+        [ Alcotest.test_case "exchange stats and trace" `Quick test_parallel_accounting ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "statically clean" `Quick test_generator_clean;
+        ] );
+    ]
