@@ -1,8 +1,9 @@
 # Tier-1 verification gate: everything must build, every test suite must
 # pass, the PlanCheck linter must report zero errors over every workload
-# query, and the bench harness must execute one LDBC query end-to-end on the
-# pipelined engine and print its per-operator trace.
-.PHONY: check build test lint trace
+# query, the bench harness must execute one LDBC query end-to-end on the
+# pipelined engine and print its per-operator trace, and the plan-cache
+# experiment must complete on a tiny graph.
+.PHONY: check build test lint trace bench-smoke
 
 build:
 	dune build
@@ -18,5 +19,12 @@ lint:
 trace:
 	GOPT_BENCH_PERSONS=300 GOPT_BENCH_BUDGET=5 dune exec bench/main.exe -- trace
 
-check: build test lint trace
+# One repetition of the plan-cache experiment on a tiny graph: cold vs
+# amortized latency over all 50 workload queries, cache hit-rate from the
+# real counters, and workers-1-vs-4 byte-identity. Emits BENCH_plan_cache.json.
+bench-smoke:
+	GOPT_BENCH_PERSONS=60 GOPT_BENCH_BUDGET=2 GOPT_BENCH_CACHE_CONSULTS=50 \
+	  dune exec bench/main.exe -- plan_cache
+
+check: build test lint trace bench-smoke
 	@echo "check: OK"

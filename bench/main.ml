@@ -696,6 +696,122 @@ let parallel () =
           worker_counts)
     rows
 
+(* ---------------------------------------------------------- plan cache -- *)
+
+(* Online-serving amortization: cold optimize+execute vs repeated executions
+   of the same template through the session plan cache. Per workload query:
+   one cold plan (no cache), one cold execution, then
+   GOPT_BENCH_CACHE_CONSULTS consults through the cache (first misses and
+   plans, the rest hit), with the hit rate taken from the cache's own
+   counters. The cached plan is also executed at workers 1 and 4 and the
+   rendered results compared byte-for-byte. Emits BENCH_plan_cache.json. *)
+let plan_cache_bench () =
+  let session = H.ldbc_session H.bench_persons in
+  let graph = Gopt.Session.graph session in
+  let consults = max 2 (H.env_int "GOPT_BENCH_CACHE_CONSULTS" 10_000) in
+  let queries = Queries.comprehensive @ Queries.qr @ Queries.qt @ Queries.qc in
+  let render b = Format.asprintf "%a" (Batch.pp graph) b in
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (Sys.time () -. t0, r)
+  in
+  let fnum v = if Float.is_nan v then "null" else Printf.sprintf "%.6e" v in
+  let rows = ref [] and json = ref [] and hit_rates = ref [] in
+  let plan_speedups = ref [] in
+  List.iter
+    (fun (q : Queries.query) ->
+      let src = q.Queries.cypher in
+      let t_plan, physical =
+        time (fun () -> fst (Gopt.plan_cypher ~use_cache:false session src))
+      in
+      let exec = H.run_phys graph physical in
+      let st0 = Gopt.Session.plan_cache_stats session in
+      let t_total, () =
+        time (fun () ->
+            for _ = 1 to consults do
+              ignore (Gopt.plan_cypher ~use_cache:true session src)
+            done)
+      in
+      let st1 = Gopt.Session.plan_cache_stats session in
+      let hits = st1.Gopt_cache.Plan_cache.hits - st0.Gopt_cache.Plan_cache.hits in
+      let hit_rate = float_of_int hits /. float_of_int consults in
+      hit_rates := hit_rate :: !hit_rates;
+      let t_consult = t_total /. float_of_int consults in
+      if t_consult > 0.0 then plan_speedups := (t_plan /. t_consult) :: !plan_speedups;
+      let identical =
+        match
+          let b1, _ = Engine.run ~budget:H.bench_budget ~workers:1 graph physical in
+          let b4, _ = Engine.run ~budget:H.bench_budget ~workers:4 graph physical in
+          render b1 = render b4
+        with
+        | true -> "yes"
+        | false -> "NO"
+        | exception Engine.Timeout -> "OT"
+      in
+      let exec_s = if H.is_ot exec then nan else exec.H.cpu in
+      (* per-execution latency after n executions of the template *)
+      let amort_cold = t_plan +. exec_s in
+      let amort_cached n = (t_plan /. float_of_int n) +. t_consult +. exec_s in
+      rows :=
+        [
+          q.Queries.name;
+          Printf.sprintf "%.3f" (t_plan *. 1e3);
+          Printf.sprintf "%.1f" (t_consult *. 1e6);
+          Printf.sprintf "%.2f%%" (hit_rate *. 100.0);
+          (if H.is_ot exec then "OT" else Printf.sprintf "%.3f" (exec_s *. 1e3));
+          (if H.is_ot exec then "-" else Printf.sprintf "%.3f" (amort_cold *. 1e3));
+          (if H.is_ot exec then "-" else Printf.sprintf "%.3f" (amort_cached 100 *. 1e3));
+          (if H.is_ot exec then "-" else Printf.sprintf "%.3f" (amort_cached 10_000 *. 1e3));
+          identical;
+        ]
+        :: !rows;
+      json :=
+        Printf.sprintf
+          "    {\"query\": %S, \"plan_cold_s\": %s, \"consult_warm_s\": %s, \
+           \"exec_s\": %s, \"hit_rate\": %.6f, \"consults\": %d, \
+           \"amortized_s\": {\"n1\": %s, \"n100\": %s, \"n10000\": %s}, \
+           \"workers_1_eq_4\": %S}"
+          q.Queries.name (fnum t_plan) (fnum t_consult) (fnum exec_s) hit_rate
+          consults (fnum amort_cold)
+          (fnum (amort_cached 100))
+          (fnum (amort_cached 10_000))
+          identical
+        :: !json)
+    queries;
+  H.print_table
+    ~title:
+      (Printf.sprintf
+         "Plan cache: cold optimize vs cached consult (%d consults/query); \
+          amortized per-execution latency"
+         consults)
+    ~header:
+      [
+        "query"; "plan cold (ms)"; "consult (us)"; "hit rate"; "exec (ms)";
+        "amort n=1 (ms)"; "n=100"; "n=10k"; "w1=w4";
+      ]
+    (List.rev !rows);
+  let st = Gopt.Session.plan_cache_stats session in
+  Printf.printf
+    "plan cache totals: %d entries (cap %d), %d hits, %d misses, %d evictions, %d \
+     invalidations\n"
+    st.Gopt_cache.Plan_cache.entries st.Gopt_cache.Plan_cache.capacity
+    st.Gopt_cache.Plan_cache.hits st.Gopt_cache.Plan_cache.misses
+    st.Gopt_cache.Plan_cache.evictions st.Gopt_cache.Plan_cache.invalidations;
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
+  Printf.printf "mean hit rate at %d consults/query: %.2f%%; plan->consult speedup %.0fx (geo)\n"
+    consults
+    (mean !hit_rates *. 100.0)
+    (H.geomean !plan_speedups);
+  let oc = open_out "BENCH_plan_cache.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"plan_cache\",\n  \"persons\": %d,\n  \"consults_per_query\": %d,\n\
+    \  \"mean_hit_rate\": %.6f,\n  \"queries\": [\n%s\n  ]\n}\n"
+    H.bench_persons consults (mean !hit_rates)
+    (String.concat ",\n" (List.rev !json));
+  close_out oc;
+  Printf.printf "wrote BENCH_plan_cache.json\n"
+
 (* ---------------------------------------------------------------- main -- *)
 
 let experiments =
@@ -718,6 +834,7 @@ let experiments =
     ("ablation_selectivity", ablation_selectivity);
     ("trace", trace);
     ("parallel", parallel);
+    ("plan_cache", plan_cache_bench);
     ("micro", micro);
   ]
 

@@ -86,7 +86,7 @@ let run_lint session config lang workload query =
   if !n_errors > 0 then 1 else 0
 
 let run_main dataset persons accounts seed lang planner backend workers chunk_size
-    explain analyze stats_only lint workload load save query =
+    explain analyze stats_only lint workload repeat cache_stats load save query =
   let graph =
     match load with
     | Some path -> Gopt_graph.Graph_io.load path
@@ -143,24 +143,53 @@ let run_main dataset persons accounts seed lang planner backend workers chunk_si
     end
     else begin
       let workers = if workers <= 0 then None else Some workers in
-      let t0 = Sys.time () in
-      let out =
+      let run () =
         match lang with
         | "cypher" -> Gopt.run_cypher ~config ?chunk_size ?workers session query
         | "gremlin" -> Gopt.run_gremlin ~config ?chunk_size ?workers session query
         | other -> failwith (Printf.sprintf "unknown language %S (cypher|gremlin)" other)
       in
+      let t0 = Sys.time () in
+      let out = run () in
       let dt = Sys.time () -. t0 in
+      (* Repetitions after the first run through the session plan cache:
+         [dt] above is the cold (optimize + execute) time, [warm] the
+         amortized per-execution time. *)
+      let warm =
+        if repeat <= 1 then None
+        else begin
+          let t1 = Sys.time () in
+          for _ = 2 to repeat do
+            ignore (run ())
+          done;
+          Some ((Sys.time () -. t1) /. float_of_int (repeat - 1))
+        end
+      in
       Format.printf "%a@." (Gopt_exec.Batch.pp graph) out.Gopt.result;
       Printf.printf "-- %d rows in %.3fs cpu; %d intermediate rows; %d edges touched\n"
         (Gopt_exec.Batch.n_rows out.Gopt.result)
         dt out.Gopt.exec_stats.Gopt_exec.Engine.intermediate_rows
         out.Gopt.exec_stats.Gopt_exec.Engine.edges_touched;
+      (match warm with
+      | Some w ->
+        Printf.printf "-- repeat %d: cold %.3fs, warm %.4fs/run (plan cached)\n" repeat
+          dt w
+      | None -> ());
       if out.Gopt.exec_stats.Gopt_exec.Engine.workers_used > 1 then
         Printf.printf "-- %d workers; %d exchange rows (%d cells)\n"
           out.Gopt.exec_stats.Gopt_exec.Engine.workers_used
           out.Gopt.exec_stats.Gopt_exec.Engine.exchange_rows
           out.Gopt.exec_stats.Gopt_exec.Engine.exchange_cells;
+      if cache_stats then begin
+        let st = Gopt.Session.plan_cache_stats session in
+        Printf.printf
+          "-- plan cache: %d/%d entries; %d hits, %d misses, %d evictions, %d \
+           invalidations (epoch %d)\n"
+          st.Gopt_cache.Plan_cache.entries st.Gopt_cache.Plan_cache.capacity
+          st.Gopt_cache.Plan_cache.hits st.Gopt_cache.Plan_cache.misses
+          st.Gopt_cache.Plan_cache.evictions st.Gopt_cache.Plan_cache.invalidations
+          (Gopt.Session.stats_epoch session)
+      end;
       if analyze then begin
         print_endline "-- per-operator trace (rows in/out, self cpu time):";
         print_endline (Gopt.render_trace out)
@@ -206,6 +235,18 @@ let lint =
            none is given; exits 1 if any error is reported")
 let workload =
   Arg.(value & opt (some string) None & info [ "workload" ] ~doc:"run a named workload query (IC1..BI18, QR, QT, QC)")
+let repeat =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ]
+        ~doc:
+          "execute the query $(docv) times through the session plan cache and report \
+           cold vs amortized (warm) per-run time")
+let cache_stats =
+  Arg.(
+    value & flag
+    & info [ "cache-stats" ]
+        ~doc:"after executing, print the session plan-cache counters")
 let load_file =
   Arg.(value & opt (some string) None & info [ "load" ] ~doc:"load the graph from a file instead of generating")
 let save_file =
@@ -219,6 +260,6 @@ let cmd =
     Term.(
       const run_main $ dataset $ persons $ accounts $ seed $ lang $ planner $ backend
       $ workers $ chunk_size $ explain $ analyze $ stats_only $ lint $ workload
-      $ load_file $ save_file $ query)
+      $ repeat $ cache_stats $ load_file $ save_file $ query)
 
 let () = exit (Cmd.eval' cmd)

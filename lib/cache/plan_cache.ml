@@ -1,0 +1,118 @@
+(* LRU over a hash table plus an intrusive doubly-linked recency list: find,
+   add and evict are all O(1) under a single mutex, so the cache can be
+   shared by the morsel-parallel engine's domains without serializing
+   anything longer than a pointer splice. *)
+
+type 'v node = {
+  key : string;
+  value : 'v;
+  mutable prev : 'v node option;  (* towards most-recently-used *)
+  mutable next : 'v node option;  (* towards least-recently-used *)
+}
+
+type 'v t = {
+  cap : int;
+  tbl : (string, 'v node) Hashtbl.t;
+  lock : Mutex.t;
+  mutable mru : 'v node option;
+  mutable lru : 'v node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  entries : int;
+  capacity : int;
+}
+
+let create ?(capacity = 128) () =
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    lock = Mutex.create ();
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* list surgery: callers hold the lock *)
+
+let detach t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+        t.hits <- t.hits + 1;
+        detach t n;
+        push_front t n;
+        Some n.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t key value =
+  if t.cap > 0 then
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.tbl key with
+        | Some old ->
+          detach t old;
+          Hashtbl.remove t.tbl key
+        | None -> ());
+        if Hashtbl.length t.tbl >= t.cap then begin
+          match t.lru with
+          | Some victim ->
+            detach t victim;
+            Hashtbl.remove t.tbl victim.key;
+            t.evictions <- t.evictions + 1
+          | None -> ()
+        end;
+        let n = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.tbl key n;
+        push_front t n)
+
+let invalidate_all t =
+  locked t (fun () ->
+      let dropped = Hashtbl.length t.tbl in
+      Hashtbl.reset t.tbl;
+      t.mru <- None;
+      t.lru <- None;
+      t.invalidations <- t.invalidations + dropped;
+      dropped)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        invalidations = t.invalidations;
+        entries = Hashtbl.length t.tbl;
+        capacity = t.cap;
+      })

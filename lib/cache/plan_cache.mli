@@ -1,0 +1,48 @@
+(** Bounded LRU cache for optimized plans.
+
+    The cache amortizes the optimizer over repeated query templates in an
+    online-serving session: keys are {!Fingerprint} digests, values are
+    whatever the caller associates with a planned query (typically the
+    physical plan plus its planner report). A single mutex guards every
+    operation, so one cache can serve concurrent domains; the critical
+    sections are O(1) hash-and-splice operations, never planning itself.
+
+    Counters ([hits]/[misses]/[evictions]/[invalidations]) accumulate over
+    the cache's lifetime and surface on [Planner.report] and
+    [gopt --cache-stats]. *)
+
+type 'v t
+
+type stats = {
+  hits : int;
+  misses : int;  (** {!find} calls that returned [None]. *)
+  evictions : int;  (** Entries dropped by LRU capacity pressure. *)
+  invalidations : int;
+      (** Entries dropped by explicit {!invalidate_all} (stats-epoch
+          bumps), NOT counted as evictions. *)
+  entries : int;  (** Current number of cached plans. *)
+  capacity : int;
+}
+
+val create : ?capacity:int -> unit -> 'v t
+(** [capacity] defaults to 128; [capacity <= 0] disables the cache (every
+    {!find} misses, {!add} is a no-op). *)
+
+val capacity : 'v t -> int
+
+val length : 'v t -> int
+
+val find : 'v t -> string -> 'v option
+(** Lookup by fingerprint; a hit promotes the entry to most-recently-used
+    and bumps [hits], a miss bumps [misses]. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Insert (or overwrite) the entry as most-recently-used, evicting the
+    least-recently-used entry when at capacity. *)
+
+val invalidate_all : 'v t -> int
+(** Drop every entry (schema/statistics change); returns the number of
+    entries dropped and adds it to [invalidations]. Counters survive. *)
+
+val stats : 'v t -> stats
+(** Consistent snapshot of the counters. *)

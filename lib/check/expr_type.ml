@@ -89,7 +89,7 @@ let prop_ty schema ~is_vertex con key =
              (String.concat "|" (List.map name admitted))) )
     | k :: rest -> (List.fold_left join k rest, None))
 
-let infer ?schema ~lookup ~path e =
+let infer ?schema ?(param_ty = fun _ -> None) ~lookup ~path e =
   let diags = ref [] in
   let err fmt = Printf.ksprintf (fun m -> diags := D.error ~path m :: !diags) fmt in
   let warn fmt = Printf.ksprintf (fun m -> diags := D.warning ~path m :: !diags) fmt in
@@ -103,6 +103,20 @@ let infer ?schema ~lookup ~path e =
   let rec go e =
     match e with
     | Expr.Const v -> of_value v
+    | Expr.Param name -> begin
+      (* A runtime placeholder: typed [Any] unless the caller declares (or
+         has inferred) a kind for the binding, in which case the parameter
+         participates in compatibility checks like any other operand. *)
+      match param_ty name with
+      | Some t -> begin
+        match kind t with
+        | K_any | K_num | K_str | K_bool -> t
+        | _ ->
+          err "parameter $%s declared with non-scalar type %s" name (to_string t);
+          Any
+      end
+      | None -> Any
+    end
     | Expr.Var x -> resolve x
     | Expr.Prop (x, key) -> begin
       match resolve x with

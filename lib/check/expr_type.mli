@@ -33,6 +33,7 @@ val compatible : ty -> ty -> bool
 
 val infer :
   ?schema:Gopt_graph.Schema.t ->
+  ?param_ty:(string -> ty option) ->
   lookup:(string -> ty option) ->
   path:string ->
   Gopt_pattern.Expr.t ->
@@ -42,7 +43,10 @@ val infer :
     operands, boolean connectives over non-booleans, string predicates over
     non-strings, property access on scalars, undeclared properties) are
     anchored at [path]. With [schema], [Prop] accesses resolve the declared
-    property kinds of the types admitted by the element's constraint. *)
+    property kinds of the types admitted by the element's constraint.
+    [param_ty] supplies a declared/inferred scalar kind for [Param]
+    placeholders (prepared statements); parameters without one type as
+    {!Any}, and a declared non-scalar parameter kind is an error. *)
 
 val prop_ty :
   Gopt_graph.Schema.t ->

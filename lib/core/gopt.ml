@@ -6,6 +6,8 @@ module Physical = Gopt_opt.Physical
 module Engine = Gopt_exec.Engine
 module Batch = Gopt_exec.Batch
 module Logical = Gopt_gir.Logical
+module Plan_cache = Gopt_cache.Plan_cache
+module Fingerprint = Gopt_cache.Fingerprint
 
 module Session = struct
   type t = {
@@ -13,10 +15,15 @@ module Session = struct
     glogue : Glogue.t;
     gq : Gq.t;
     gq_low : Gq.t;
+    mutable epoch : int;
+        (* Stats epoch: part of every plan fingerprint, so bumping it makes
+           all cached plans unreachable even before invalidate_all drops
+           them. *)
+    cache : (Physical.t * Planner.report) Plan_cache.t;
   }
 
   let create ?(glogue_k = 3) ?(estimator_mode = Gq.High_order) ?selectivity
-      ?(histograms = true) graph =
+      ?(histograms = true) ?(plan_cache_capacity = 128) graph =
     let glogue = Glogue.build ~max_k:glogue_k graph in
     let hist = if histograms then Some (Gopt_glogue.Histograms.build graph) else None in
     {
@@ -24,6 +31,8 @@ module Session = struct
       glogue;
       gq = Gq.create ?selectivity ~mode:estimator_mode ?histograms:hist glogue;
       gq_low = Gq.create ?selectivity ~mode:Gq.Low_order glogue;
+      epoch = 0;
+      cache = Plan_cache.create ~capacity:plan_cache_capacity ();
     }
 
   let graph t = t.graph
@@ -31,6 +40,13 @@ module Session = struct
   let glogue t = t.glogue
   let estimator t = t.gq
   let low_order_estimator t = t.gq_low
+  let stats_epoch t = t.epoch
+
+  let bump_stats_epoch t =
+    t.epoch <- t.epoch + 1;
+    ignore (Plan_cache.invalidate_all t.cache)
+
+  let plan_cache_stats t = Plan_cache.stats t.cache
 end
 
 type outcome = {
@@ -63,18 +79,189 @@ let cypher_to_gir ?params (s : Session.t) src =
 let gremlin_to_gir (s : Session.t) src =
   Gopt_lang.Gremlin_parser.parse (Session.schema s) src
 
-let run_cypher ?params ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s
-    src =
-  run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s
-    (cypher_to_gir ?params s src)
+(* --- session plan cache ---------------------------------------------------- *)
+
+(* Everything in Planner.config that can change the optimizer's output,
+   signed as a string. Planner.config itself is never marshaled: the backend
+   spec carries cost-model closures. Cbo.options and Schema.t are pure data. *)
+let config_signature (c : Planner.config) =
+  let flag b = if b then "1" else "0" in
+  String.concat "|"
+    [
+      c.Planner.spec.Gopt_opt.Physical_spec.name;
+      flag c.Planner.enable_rbo;
+      String.concat "," (List.map (fun r -> r.Gopt_opt.Rule.name) c.Planner.rules);
+      flag c.Planner.enable_field_trim;
+      flag c.Planner.enable_type_inference;
+      (match c.Planner.inference_schema with
+      | None -> "-"
+      | Some schema -> Digest.to_hex (Digest.string (Marshal.to_string schema [])));
+      flag c.Planner.enable_cbo;
+      Digest.to_hex (Digest.string (Marshal.to_string c.Planner.cbo_options []));
+      flag c.Planner.check_plans;
+    ]
+
+let cache_note ~hit (s : Session.t) =
+  let st = Plan_cache.stats s.Session.cache in
+  {
+    Planner.cache_hit = hit;
+    cache_hits = st.Plan_cache.hits;
+    cache_misses = st.Plan_cache.misses;
+    cache_evictions = st.Plan_cache.evictions;
+    cache_invalidations = st.Plan_cache.invalidations;
+  }
+
+(* Plan [ast] through the session cache: the fingerprint covers the AST, the
+   planner configuration and the current stats epoch, so a hit is guaranteed
+   to be the plan this configuration would produce right now. The cached
+   report keeps the planning-time statistics; only the cache note is
+   refreshed per serve. *)
+let plan_ast_cached ?config (s : Session.t) ast =
+  let config = match config with Some c -> c | None -> Planner.default_config () in
+  let key =
+    Fingerprint.digest ~config:(config_signature config) ~epoch:s.Session.epoch ast
+  in
+  match Plan_cache.find s.Session.cache key with
+  | Some (physical, report) ->
+    ( config,
+      physical,
+      { report with Planner.plan_cache = Some (cache_note ~hit:true s) } )
+  | None ->
+    let logical = Gopt_lang.Lowering.cypher (Session.schema s) ast in
+    let physical, report = Planner.plan config s.Session.gq logical in
+    Plan_cache.add s.Session.cache key (physical, report);
+    ( config,
+      physical,
+      { report with Planner.plan_cache = Some (cache_note ~hit:false s) } )
+
+let run_cypher ?params ?config ?profile ?budget ?chunk_size ?morsel_size ?workers
+    ?(use_cache = true) s src =
+  if not use_cache then
+    run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s
+      (cypher_to_gir ?params s src)
+  else begin
+    let ast = Gopt_lang.Cypher_parser.parse ?params ~defer_params:true src in
+    let config, physical, report = plan_ast_cached ?config s ast in
+    let profile = match profile with Some p -> p | None -> profile_for config in
+    let result, exec_stats =
+      (* always run the binding pass: a deferred [$x] with no binding must
+         fail with the descriptive undefined-parameter diagnostic, matching
+         the parse-time substitution of the uncached path *)
+      Engine.run ~profile ?budget ?chunk_size ?morsel_size ?workers
+        ~params:(Option.value params ~default:[])
+        s.Session.graph physical
+    in
+    { result; exec_stats; report; physical }
+  end
 
 let run_gremlin ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s src =
   run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s
     (gremlin_to_gir s src)
 
-let plan_cypher ?params ?config s src =
+let plan_cypher ?params ?config ?(use_cache = false) s src =
+  if not use_cache then
+    let config = match config with Some c -> c | None -> Planner.default_config () in
+    Planner.plan config s.Session.gq (cypher_to_gir ?params s src)
+  else
+    let ast = Gopt_lang.Cypher_parser.parse ?params ~defer_params:true src in
+    let _, physical, report = plan_ast_cached ?config s ast in
+    (physical, report)
+
+(* --- prepared statements --------------------------------------------------- *)
+
+module Prepared = struct
+  type t = {
+    session : Session.t;
+    config : Planner.config;
+    config_sig : string;
+    ast : Gopt_lang.Cypher_ast.query;
+    base_params : (string * Gopt_graph.Value.t list) list;
+    param_names : string list;
+    source : string;
+  }
+
+  (* Parameter placeholders surviving in the statement's expressions, in
+     first-occurrence order (auto-extracted "@pN" slots plus user "$x"). *)
+  let ast_params (q : Gopt_lang.Cypher_ast.query) =
+    let open Gopt_lang.Cypher_ast in
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    let expr e =
+      List.iter
+        (fun name ->
+          if not (Hashtbl.mem seen name) then begin
+            Hashtbl.add seen name ();
+            acc := name :: !acc
+          end)
+        (Gopt_pattern.Expr.params e)
+    in
+    let projection p =
+      List.iter
+        (fun it ->
+          match it.item with
+          | Scalar e -> expr e
+          | Agg (_, _, arg) -> Option.iter expr arg)
+        p.items;
+      List.iter (fun (e, _) -> expr e) p.order_by;
+      Option.iter expr p.where
+    in
+    let clause = function
+      | C_match { where; _ } ->
+        List.iter (function Wc_expr e -> expr e | Wc_pattern _ -> ()) where
+      | C_unwind (e, _) -> expr e
+      | C_with p | C_return p -> projection p
+    in
+    List.iter (List.iter clause) q.parts;
+    List.rev !acc
+
+  let params t = t.param_names
+  let source t = t.source
+
+  let execute ?params ?profile ?budget ?chunk_size ?morsel_size ?workers t =
+    let s = t.session in
+    let key =
+      Fingerprint.digest ~config:t.config_sig ~epoch:s.Session.epoch t.ast
+    in
+    let physical, report =
+      match Plan_cache.find s.Session.cache key with
+      | Some (physical, report) ->
+        (physical, { report with Planner.plan_cache = Some (cache_note ~hit:true s) })
+      | None ->
+        let logical = Gopt_lang.Lowering.cypher (Session.schema s) t.ast in
+        let physical, report = Planner.plan t.config s.Session.gq logical in
+        Plan_cache.add s.Session.cache key (physical, report);
+        (physical, { report with Planner.plan_cache = Some (cache_note ~hit:false s) })
+    in
+    let supplied = Option.value params ~default:[] in
+    let bindings =
+      supplied
+      @ List.filter
+          (fun (name, _) -> not (List.mem_assoc name supplied))
+          t.base_params
+    in
+    let profile = match profile with Some p -> p | None -> profile_for t.config in
+    let result, exec_stats =
+      Engine.run ~profile ?budget ?chunk_size ?morsel_size ?workers ~params:bindings
+        s.Session.graph physical
+    in
+    { result; exec_stats; report; physical }
+end
+
+let prepare_cypher ?params ?config ?(auto_params = false) (s : Session.t) src =
   let config = match config with Some c -> c | None -> Planner.default_config () in
-  Planner.plan config s.Session.gq (cypher_to_gir ?params s src)
+  let ast = Gopt_lang.Cypher_parser.parse ?params ~defer_params:true src in
+  let ast, base_params =
+    if auto_params then Fingerprint.auto_parameterize ast else (ast, [])
+  in
+  {
+    Prepared.session = s;
+    config;
+    config_sig = config_signature config;
+    ast;
+    base_params;
+    param_names = Prepared.ast_params ast;
+    source = src;
+  }
 
 (* --- static checking (the --lint front door) ------------------------------- *)
 

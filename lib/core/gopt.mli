@@ -20,12 +20,14 @@ module Session : sig
     ?estimator_mode:Gopt_glogue.Glogue_query.mode ->
     ?selectivity:float ->
     ?histograms:bool ->
+    ?plan_cache_capacity:int ->
     Gopt_graph.Property_graph.t ->
     t
   (** Build a session: precomputes GLogue motif statistics up to [glogue_k]
       (default 3) vertices, property histograms for selectivity estimation
       ([histograms], default true), and sets up the cardinality
-      estimator. *)
+      estimator. [plan_cache_capacity] bounds the session's LRU plan cache
+      (default 128; [0] disables caching entirely). *)
 
   val graph : t -> Gopt_graph.Property_graph.t
   val schema : t -> Gopt_graph.Schema.t
@@ -34,6 +36,18 @@ module Session : sig
 
   val low_order_estimator : t -> Gopt_glogue.Glogue_query.t
   (** A low-order-statistics view over the same store (baseline planners). *)
+
+  val stats_epoch : t -> int
+  (** The session's statistics epoch. Every plan fingerprint includes it, so
+      cached plans from older epochs can never be served. *)
+
+  val bump_stats_epoch : t -> unit
+  (** Declare the graph schema or GLogue statistics changed: advances the
+      epoch and drops every cached plan (counted as invalidations, not
+      evictions). Subsequent executions re-optimize. *)
+
+  val plan_cache_stats : t -> Gopt_cache.Plan_cache.stats
+  (** Hit/miss/eviction/invalidation counters of the session plan cache. *)
 end
 
 type outcome = {
@@ -51,6 +65,7 @@ val run_cypher :
   ?chunk_size:int ->
   ?morsel_size:int ->
   ?workers:int ->
+  ?use_cache:bool ->
   Session.t ->
   string ->
   outcome
@@ -60,7 +75,16 @@ val run_cypher :
     [chunk_size] sets the engine's pipelined batch granularity. [workers]
     executes on the morsel-driven parallel engine with that many OCaml
     domains ([morsel_size] rows per work unit); see
-    {!Gopt_exec.Engine.run}. *)
+    {!Gopt_exec.Engine.run}.
+
+    With [use_cache] (the default), the optimized plan is consulted from and
+    stored into the session plan cache keyed by {!Gopt_cache.Fingerprint}:
+    repeated templates skip RBO/inference/CBO entirely, and scalar [$name]
+    parameters stay symbolic in the cached plan (bound per execution), so
+    runs differing only in scalar parameter values share one plan.
+    [report.plan_cache] records whether this run hit. [~use_cache:false]
+    restores stateless parse-substitute-optimize-execute (the cold path
+    differential tests compare against). *)
 
 val run_gremlin :
   ?config:Gopt_opt.Planner.config ->
@@ -76,10 +100,60 @@ val run_gremlin :
 val plan_cypher :
   ?params:(string * Gopt_graph.Value.t list) list ->
   ?config:Gopt_opt.Planner.config ->
+  ?use_cache:bool ->
   Session.t ->
   string ->
   Gopt_opt.Physical.t * Gopt_opt.Planner.report
-(** Optimize without executing. *)
+(** Optimize without executing. [use_cache] defaults to [false] here —
+    planning APIs are used to {e observe} the optimizer; pass [true] to go
+    through the session cache like {!run_cypher} does. *)
+
+(** Prepared statements: parse and fingerprint once, optimize on first
+    execution, then re-execute with fresh parameter bindings at plan-lookup
+    cost. The prepared handle stores the deferred AST, not a plan — every
+    {!Prepared.execute} re-keys against the session's {e current} stats
+    epoch, so a {!Session.bump_stats_epoch} transparently forces one
+    re-optimization and never serves a stale plan. *)
+module Prepared : sig
+  type t
+
+  val params : t -> string list
+  (** Placeholder names the statement expects at execution, in
+      first-occurrence order — user-written [$x] plus auto-extracted
+      [@p0], [@p1], … slots (see [prepare_cypher ~auto_params]). *)
+
+  val source : t -> string
+  (** The original query text. *)
+
+  val execute :
+    ?params:(string * Gopt_graph.Value.t list) list ->
+    ?profile:Gopt_exec.Engine.profile ->
+    ?budget:float ->
+    ?chunk_size:int ->
+    ?morsel_size:int ->
+    ?workers:int ->
+    t ->
+    outcome
+  (** Execute with the given bindings (each scalar placeholder binds exactly
+      one value; supplied bindings override prepare-time ones). Raises
+      [Invalid_argument] naming the missing parameter and the supplied set
+      when a placeholder is left unbound. *)
+end
+
+val prepare_cypher :
+  ?params:(string * Gopt_graph.Value.t list) list ->
+  ?config:Gopt_opt.Planner.config ->
+  ?auto_params:bool ->
+  Session.t ->
+  string ->
+  Prepared.t
+(** Parse [src] with deferred scalar parameters (see
+    {!Gopt_lang.Cypher_parser.parse}). [params] supplies [IN]-list and
+    property-map parameters, which must bind at prepare time. With
+    [auto_params], scalar literals are additionally lifted into placeholder
+    slots ({!Gopt_cache.Fingerprint.auto_parameterize}), so statements
+    differing only in literals share one cache entry; the extracted values
+    become default bindings. *)
 
 val explain_cypher :
   ?params:(string * Gopt_graph.Value.t list) list ->

@@ -37,9 +37,23 @@ exception Timeout = Op_trace.Timeout
    morsel partitioning (not the worker count), so results are byte-identical
    across worker counts — but may order set-semantics results (GROUP BY
    without ORDER BY) differently from the sequential push engine. *)
-let run ?profile ?budget ?chunk_size ?morsel_size ?workers g plan =
+(* Parameter bindings are resolved once, at plan granularity, before either
+   engine sees the plan: substituting [Param -> Const] up front keeps the
+   per-row evaluators binding-free and makes prepared execution byte-identical
+   to executing the equivalent literal plan. *)
+let resolve_params ?params plan =
+  match params with
+  | None -> plan
+  (* an empty binding list still runs the pass: a plan that carries
+     placeholders must fail with the descriptive undefined-parameter
+     diagnostic, not the Eval safety net *)
+  | Some bindings -> Gopt_opt.Physical.bind_params bindings plan
+
+let run ?profile ?budget ?chunk_size ?morsel_size ?workers ?params g plan =
+  let plan = resolve_params ?params plan in
   match workers with
   | Some w -> Parallel.run ?profile ?budget ?chunk_size ?morsel_size ~workers:w g plan
   | None -> Operator.run ?profile ?budget ?chunk_size g plan
 
-let run_materialized = Engine_reference.run
+let run_materialized ?profile ?budget ?params g plan =
+  Engine_reference.run ?profile ?budget g (resolve_params ?params plan)

@@ -70,12 +70,18 @@ val run :
   ?chunk_size:int ->
   ?morsel_size:int ->
   ?workers:int ->
+  ?params:(string * Gopt_graph.Value.t list) list ->
   Gopt_graph.Property_graph.t ->
   Gopt_opt.Physical.t ->
   Batch.t * stats
 (** Execute a plan on the pipelined engine. [profile] defaults to
     {!graphscope_profile}; [chunk_size] is the pipelined batch granularity
     (default 1024).
+
+    [params] binds prepared-statement placeholders ({!Gopt_pattern.Expr.Param})
+    before execution; each scalar placeholder must bind exactly one value.
+    Raises [Invalid_argument] naming the missing parameter and the supplied
+    set when a placeholder is left unbound.
 
     [workers] switches to the morsel-driven parallel engine: scans are split
     into fixed-size morsels dispatched to [workers] OCaml domains, which run
@@ -90,6 +96,7 @@ val run :
 val run_materialized :
   ?profile:profile ->
   ?budget:float ->
+  ?params:(string * Gopt_graph.Value.t list) list ->
   Gopt_graph.Property_graph.t ->
   Gopt_opt.Physical.t ->
   Batch.t * stats

@@ -73,6 +73,15 @@ let rec eval_rval g lookup e =
 and eval g lookup e =
   match e with
   | Expr.Const v -> v
+  | Expr.Param name ->
+    (* Prepared-statement placeholders are substituted by [Engine.run
+       ~params] before any operator evaluates; reaching one here means the
+       plan was executed without its bindings. *)
+    invalid_arg
+      (Printf.sprintf
+         "Eval: unresolved query parameter $%s — execute prepared plans with their \
+          parameter bindings (Engine.run ~params / Prepared.execute)"
+         name)
   | Expr.Var tag -> begin
     match lookup tag with Some v -> Rval.to_value g v | None -> Value.Null
   end

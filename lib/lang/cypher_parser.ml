@@ -10,6 +10,10 @@ type state = {
   toks : L.token array;
   mutable pos : int;
   params : (string * Value.t list) list;
+  defer : bool;
+      (* Prepared-statement mode: scalar [$x] parses to [Expr.Param x] instead
+         of being substituted from [params]; IN-lists and property maps still
+         bind at parse time (they shape the pattern, not a runtime value). *)
 }
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
@@ -47,7 +51,13 @@ let ident st =
 let param_values st name =
   match List.assoc_opt name st.params with
   | Some vs -> vs
-  | None -> fail "unbound parameter $%s" name
+  | None ->
+    let supplied =
+      match List.map fst st.params with
+      | [] -> "none"
+      | names -> String.concat ", " (List.map (fun n -> "$" ^ n) names)
+    in
+    fail "undefined parameter $%s (supplied: %s)" name supplied
 
 (* --- literals and expressions ------------------------------------------- *)
 
@@ -223,9 +233,11 @@ and parse_atom st =
   | L.Dollar -> begin
     advance st;
     let name = ident st in
-    match param_values st name with
-    | [ v ] -> Expr.Const v
-    | _ -> fail "multi-value parameter $%s used as a scalar" name
+    if st.defer then Expr.Param name
+    else
+      match param_values st name with
+      | [ v ] -> Expr.Const v
+      | _ -> fail "multi-value parameter $%s used as a scalar" name
   end
   | L.Lparen ->
     advance st;
@@ -592,8 +604,8 @@ let single_query st =
   done;
   List.rev !clauses
 
-let parse ?(params = []) src =
-  let st = { toks = Lexer.tokenize src; pos = 0; params } in
+let parse ?(params = []) ?(defer_params = false) src =
+  let st = { toks = Lexer.tokenize src; pos = 0; params; defer = defer_params } in
   let parts = ref [ single_query st ] in
   let union_all = ref false in
   while is_kw st "UNION" do
@@ -606,7 +618,7 @@ let parse ?(params = []) src =
   { parts = List.rev !parts; union_all = !union_all }
 
 let parse_expression src =
-  let st = { toks = Lexer.tokenize src; pos = 0; params = [] } in
+  let st = { toks = Lexer.tokenize src; pos = 0; params = []; defer = false } in
   let e = parse_or st in
   if peek st <> L.Eof then fail "trailing input in expression";
   e

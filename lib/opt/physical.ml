@@ -99,6 +99,87 @@ let rec uses_intersect = function
   | With_common { common; left; right; _ } ->
     uses_intersect common || uses_intersect left || uses_intersect right
 
+(* --- expression positions (prepared-statement parameters) ----------------- *)
+
+let map_step f s =
+  {
+    s with
+    s_edge = { s.s_edge with Pattern.e_pred = Option.map f s.s_edge.Pattern.e_pred };
+    s_to_pred = Option.map f s.s_to_pred;
+  }
+
+let rec map_exprs f = function
+  | Scan { alias; con; pred } -> Scan { alias; con; pred = Option.map f pred }
+  | Expand_all (x, s) -> Expand_all (map_exprs f x, map_step f s)
+  | Expand_into (x, s) -> Expand_into (map_exprs f x, map_step f s)
+  | Expand_intersect (x, steps) ->
+    Expand_intersect (map_exprs f x, List.map (map_step f) steps)
+  | Path_expand (x, s) -> Path_expand (map_exprs f x, map_step f s)
+  | Hash_join { left; right; keys; kind } ->
+    Hash_join { left = map_exprs f left; right = map_exprs f right; keys; kind }
+  | Select (x, e) -> Select (map_exprs f x, f e)
+  | Project (x, ps) -> Project (map_exprs f x, List.map (fun (e, a) -> (f e, a)) ps)
+  | Group (x, ks, aggs) ->
+    Group
+      ( map_exprs f x,
+        List.map (fun (e, a) -> (f e, a)) ks,
+        List.map
+          (fun a -> { a with Logical.agg_arg = Option.map f a.Logical.agg_arg })
+          aggs )
+  | Order (x, ks, lim) ->
+    Order (map_exprs f x, List.map (fun (e, d) -> (f e, d)) ks, lim)
+  | Limit (x, n) -> Limit (map_exprs f x, n)
+  | Skip (x, n) -> Skip (map_exprs f x, n)
+  | Unfold (x, e, alias) -> Unfold (map_exprs f x, f e, alias)
+  | Dedup (x, tags) -> Dedup (map_exprs f x, tags)
+  | Union (a, b) -> Union (map_exprs f a, map_exprs f b)
+  | All_distinct (x, tags) -> All_distinct (map_exprs f x, tags)
+  | With_common { common; left; right; combine } ->
+    With_common
+      {
+        common = map_exprs f common;
+        left = map_exprs f left;
+        right = map_exprs f right;
+        combine;
+      }
+  | (Common_ref _ | Empty _) as p -> p
+
+let params plan =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let note e =
+    List.iter
+      (fun name ->
+        if not (Hashtbl.mem seen name) then begin
+          Hashtbl.add seen name ();
+          acc := name :: !acc
+        end)
+      (Expr.params e);
+    e
+  in
+  ignore (map_exprs note plan);
+  List.rev !acc
+
+let bind_params bindings plan =
+  let supplied () =
+    match List.map fst bindings with
+    | [] -> "none"
+    | names -> String.concat ", " (List.map (fun n -> "$" ^ n) names)
+  in
+  let resolve name =
+    match List.assoc_opt name bindings with
+    | Some [ v ] -> Some v
+    | Some vs ->
+      invalid_arg
+        (Printf.sprintf
+           "parameter $%s binds %d values but is used as a scalar placeholder" name
+           (List.length vs))
+    | None ->
+      invalid_arg
+        (Printf.sprintf "undefined parameter $%s (supplied: %s)" name (supplied ()))
+  in
+  map_exprs (Expr.bind_params resolve) plan
+
 (* --- pipeline classification (push-based engine support) ------------------ *)
 
 type pipeline_role =

@@ -68,6 +68,23 @@ type t =
 val output_fields : t -> string list
 (** Visible fields, mirroring {!Gopt_gir.Logical.output_fields}. *)
 
+val map_exprs : (Gopt_pattern.Expr.t -> Gopt_pattern.Expr.t) -> t -> t
+(** Rewrite every expression position in the plan: scan and expansion
+    predicates, selections, projections, group keys and aggregate arguments,
+    sort keys, and unfold sources. Structure (aliases, constraints, join
+    keys, limits) is untouched. *)
+
+val params : t -> string list
+(** Names of unresolved [Expr.Param] placeholders anywhere in the plan, in
+    first-occurrence order, without duplicates. Empty for plans compiled from
+    fully-substituted queries. *)
+
+val bind_params : (string * Gopt_graph.Value.t list) list -> t -> t
+(** [bind_params bindings plan] substitutes every [Expr.Param] placeholder
+    with its bound constant. Each scalar placeholder must bind exactly one
+    value; raises [Invalid_argument] with a descriptive message naming the
+    missing parameter and the supplied set otherwise. *)
+
 type pipeline_role =
   | Streaming  (** Emits as input arrives; holds no unbounded state. *)
   | Stateful

@@ -163,6 +163,7 @@ let unop_of = function
 
 let rec enc_expr = function
   | Expr.Const v -> List [ Atom "const"; enc_value v ]
+  | Expr.Param x -> List [ Atom "param"; Atom x ]
   | Expr.Var x -> List [ Atom "var"; Atom x ]
   | Expr.Prop (x, k) -> List [ Atom "prop"; Atom x; Atom k ]
   | Expr.Label x -> List [ Atom "label"; Atom x ]
@@ -307,6 +308,7 @@ let dec_opt dec = function
 
 let rec dec_expr = function
   | List [ Atom "const"; v ] -> Expr.Const (dec_value v)
+  | List [ Atom "param"; Atom x ] -> Expr.Param x
   | List [ Atom "var"; Atom x ] -> Expr.Var x
   | List [ Atom "prop"; Atom x; Atom k ] -> Expr.Prop (x, k)
   | List [ Atom "label"; Atom x ] -> Expr.Label x

@@ -30,6 +30,14 @@ let default_config ?(spec = Physical_spec.graphscope) () =
     check_plans = false;
   }
 
+type cache_note = {
+  cache_hit : bool;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_invalidations : int;
+}
+
 type report = {
   logical_input : Logical.t;
   logical_optimized : Logical.t;
@@ -38,6 +46,7 @@ type report = {
   search_stats : Cbo.search_stats list;
   est_costs : float list;
   diagnostics : (string * Gopt_check.Diagnostic.t list) list;
+  plan_cache : cache_note option;
 }
 
 (* --- user-order compilation (rule-based-only backends) ------------------ *)
@@ -386,4 +395,5 @@ let plan config gq logical =
       search_stats = List.rev !search_stats;
       est_costs = List.rev !est_costs;
       diagnostics = List.rev !diagnostics;
+      plan_cache = None;
     } )

@@ -34,6 +34,17 @@ val default_config : ?spec:Physical_spec.t -> unit -> config
 (** Everything enabled, all shipped rules, default CBO options;
     [spec] defaults to {!Physical_spec.graphscope}. *)
 
+type cache_note = {
+  cache_hit : bool;  (** This report was served from the session plan cache. *)
+  cache_hits : int;  (** Cumulative session-cache counters at serve time. *)
+  cache_misses : int;
+  cache_evictions : int;
+  cache_invalidations : int;
+}
+(** Plan-cache observability attached by the [Gopt] façade when a query is
+    answered through the session's prepared-plan cache. The planner itself
+    never consults a cache — [plan] always reports [plan_cache = None]. *)
+
 type report = {
   logical_input : Gopt_gir.Logical.t;
   logical_optimized : Gopt_gir.Logical.t;  (** After RBO + type inference. *)
@@ -47,6 +58,7 @@ type report = {
       (** Per-stage verifier output when [config.check_plans]: ["logical"],
           ["rbo"], ["optimized"] (both after {!Gopt_check.Plan_check}) and
           ["physical"] (after {!Physical_check.check}). Empty otherwise. *)
+  plan_cache : cache_note option;
 }
 
 val plan :

@@ -225,7 +225,7 @@ let com_sub_pattern =
 let expr_tags e = SS.of_list (Expr.free_tags e)
 
 let rec expr_props acc = function
-  | Expr.Const _ | Expr.Var _ | Expr.Label _ -> acc
+  | Expr.Const _ | Expr.Param _ | Expr.Var _ | Expr.Label _ -> acc
   | Expr.Prop (tag, key) -> (tag, key) :: acc
   | Expr.Binop (_, l, r) -> expr_props (expr_props acc l) r
   | Expr.Unop (_, e) | Expr.In_list (e, _) -> expr_props acc e

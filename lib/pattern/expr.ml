@@ -10,6 +10,7 @@ type unop = Not | Neg | Is_null | Is_not_null
 
 type t =
   | Const of Value.t
+  | Param of string
   | Var of string
   | Prop of string * string
   | Label of string
@@ -23,6 +24,7 @@ let rec compare a b = Stdlib.compare (erase a) (erase b)
    (total, NaN-free in practice); erase to a comparable skeleton. *)
 and erase = function
   | Const v -> `Const (Value.to_string v)
+  | Param x -> `Param x
   | Var x -> `Var x
   | Prop (x, k) -> `Prop (x, k)
   | Label x -> `Label x
@@ -42,7 +44,7 @@ let free_tags e =
     end
   in
   let rec go = function
-    | Const _ -> ()
+    | Const _ | Param _ -> ()
     | Var x | Prop (x, _) | Label x -> visit x
     | Binop (_, l, r) -> go l; go r
     | Unop (_, e) -> go e
@@ -50,6 +52,30 @@ let free_tags e =
   in
   go e;
   List.rev !acc
+
+let params e =
+  let seen = Hashtbl.create 4 in
+  let acc = ref [] in
+  let rec go = function
+    | Const _ | Var _ | Prop _ | Label _ -> ()
+    | Param name ->
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        acc := name :: !acc
+      end
+    | Binop (_, l, r) -> go l; go r
+    | Unop (_, e) -> go e
+    | In_list (e, _) -> go e
+  in
+  go e;
+  List.rev !acc
+
+let rec bind_params f = function
+  | (Const _ | Var _ | Prop _ | Label _) as e -> e
+  | Param name as e -> ( match f name with Some v -> Const v | None -> e)
+  | Binop (op, l, r) -> Binop (op, bind_params f l, bind_params f r)
+  | Unop (op, e) -> Unop (op, bind_params f e)
+  | In_list (e, vs) -> In_list (bind_params f e, vs)
 
 let rec conjuncts = function
   | Binop (And, l, r) -> conjuncts l @ conjuncts r
@@ -60,7 +86,7 @@ let conj = function
   | e :: rest -> Some (List.fold_left (fun acc x -> Binop (And, acc, x)) e rest)
 
 let rec rename_tags f = function
-  | Const _ as e -> e
+  | (Const _ | Param _) as e -> e
   | Var x -> Var (f x)
   | Prop (x, k) -> Prop (f x, k)
   | Label x -> Label (f x)
@@ -71,7 +97,7 @@ let rec rename_tags f = function
 let substitute f e =
   let exception Fail in
   let rec go = function
-    | Const _ as e -> e
+    | (Const _ | Param _) as e -> e
     | Var x as e -> ( match f x with Some e' -> e' | None -> e)
     | Prop (x, k) as e -> begin
       match f x with
@@ -136,7 +162,7 @@ let cmp_binop op x y =
 
 let rec const_fold e =
   match e with
-  | Const _ | Var _ | Prop _ | Label _ -> e
+  | Const _ | Param _ | Var _ | Prop _ | Label _ -> e
   | Unop (op, inner) -> begin
     let inner = const_fold inner in
     match op, inner with
@@ -176,6 +202,7 @@ let binop_name = function
 
 let rec pp ppf = function
   | Const v -> Value.pp ppf v
+  | Param x -> Format.fprintf ppf "$%s" x
   | Var x -> Format.pp_print_string ppf x
   | Prop (x, k) -> Format.fprintf ppf "%s.%s" x k
   | Label x -> Format.fprintf ppf "label(%s)" x

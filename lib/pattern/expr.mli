@@ -17,6 +17,12 @@ type unop = Not | Neg | Is_null | Is_not_null
 
 type t =
   | Const of Gopt_graph.Value.t
+  | Param of string
+      (** A named query parameter ([$name]), left unresolved through the
+          whole optimization pipeline and bound to a constant only at
+          execution time (prepared statements). Parameters are scalars;
+          labels and IN-list value sets are {e not} parameterizable, so type
+          inference and label narrowing stay sound on prepared plans. *)
   | Var of string
       (** Value of a tagged result: the id of a vertex/edge, or a scalar. *)
   | Prop of string * string  (** [Prop (tag, key)] is [tag.key]. *)
@@ -33,6 +39,15 @@ val free_tags : t -> string list
 (** Tags the expression references, duplicate-free, in first-use order. The
     FilterIntoPattern rule pushes a predicate into a pattern element only when
     all its free tags resolve to that element. *)
+
+val params : t -> string list
+(** Parameter names the expression references, duplicate-free, in first-use
+    order. A closed (fully bindable) expression has [params e = []]. *)
+
+val bind_params : (string -> Gopt_graph.Value.t option) -> t -> t
+(** [bind_params f e] replaces each [Param name] for which [f name] is
+    [Some v] by [Const v]; unresolved parameters are left in place (callers
+    decide whether that is an error). *)
 
 val conjuncts : t -> t list
 (** Split an expression on top-level [And]s. *)
