@@ -19,12 +19,16 @@ lint:
 trace:
 	GOPT_BENCH_PERSONS=300 GOPT_BENCH_BUDGET=5 dune exec bench/main.exe -- trace
 
-# One repetition of the plan-cache experiment on a tiny graph: cold vs
-# amortized latency over all 50 workload queries, cache hit-rate from the
-# real counters, and workers-1-vs-4 byte-identity. Emits BENCH_plan_cache.json.
+# One repetition of the plan-cache and vectorized-execution experiments on a
+# tiny graph: cold vs amortized latency over all 50 workload queries with
+# workers-1-vs-4 byte-identity, then columnar kernels vs the row interpreter
+# (byte-identity asserted per worker count). Emits BENCH_plan_cache.json and
+# BENCH_exec.json.
 bench-smoke:
 	GOPT_BENCH_PERSONS=60 GOPT_BENCH_BUDGET=2 GOPT_BENCH_CACHE_CONSULTS=50 \
 	  dune exec bench/main.exe -- plan_cache
+	GOPT_BENCH_PERSONS=300 GOPT_BENCH_BUDGET=5 \
+	  dune exec bench/main.exe -- vectorized
 
 check: build test lint trace bench-smoke
 	@echo "check: OK"

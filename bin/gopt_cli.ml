@@ -86,7 +86,8 @@ let run_lint session config lang workload query =
   if !n_errors > 0 then 1 else 0
 
 let run_main dataset persons accounts seed lang planner backend workers chunk_size
-    explain analyze stats_only lint workload repeat cache_stats load save query =
+    no_vectorize explain analyze stats_only lint workload repeat cache_stats load save
+    query =
   let graph =
     match load with
     | Some path -> Gopt_graph.Graph_io.load path
@@ -143,10 +144,12 @@ let run_main dataset persons accounts seed lang planner backend workers chunk_si
     end
     else begin
       let workers = if workers <= 0 then None else Some workers in
+      let vectorize = not no_vectorize in
       let run () =
         match lang with
-        | "cypher" -> Gopt.run_cypher ~config ?chunk_size ?workers session query
-        | "gremlin" -> Gopt.run_gremlin ~config ?chunk_size ?workers session query
+        | "cypher" -> Gopt.run_cypher ~config ?chunk_size ?workers ~vectorize session query
+        | "gremlin" ->
+          Gopt.run_gremlin ~config ?chunk_size ?workers ~vectorize session query
         | other -> failwith (Printf.sprintf "unknown language %S (cypher|gremlin)" other)
       in
       let t0 = Sys.time () in
@@ -191,7 +194,9 @@ let run_main dataset persons accounts seed lang planner backend workers chunk_si
           (Gopt.Session.stats_epoch session)
       end;
       if analyze then begin
-        print_endline "-- per-operator trace (rows in/out, self cpu time):";
+        print_endline
+          "-- per-operator trace (rows in/out, self cpu time; kernel: rows selected \
+           by vectorized kernels and kernel cpu time):";
         print_endline (Gopt.render_trace out)
       end;
       0
@@ -220,6 +225,14 @@ let chunk_size =
     value
     & opt (some int) None
     & info [ "chunk-size" ] ~doc:"pipelined batch granularity in rows (default 1024)")
+let no_vectorize =
+  Arg.(
+    value & flag
+    & info [ "no-vectorize" ]
+        ~doc:
+          "evaluate predicates and projections with the row-at-a-time interpreter \
+           instead of the columnar expression kernels (the benchmark baseline; \
+           results are identical)")
 let explain = Arg.(value & flag & info [ "explain" ] ~doc:"show plans instead of executing")
 let analyze =
   Arg.(value & flag & info [ "analyze" ] ~doc:"after executing, print the per-operator trace (EXPLAIN ANALYZE)")
@@ -259,7 +272,7 @@ let cmd =
     (Cmd.info "gopt" ~doc)
     Term.(
       const run_main $ dataset $ persons $ accounts $ seed $ lang $ planner $ backend
-      $ workers $ chunk_size $ explain $ analyze $ stats_only $ lint $ workload
-      $ repeat $ cache_stats $ load_file $ save_file $ query)
+      $ workers $ chunk_size $ no_vectorize $ explain $ analyze $ stats_only $ lint
+      $ workload $ repeat $ cache_stats $ load_file $ save_file $ query)
 
 let () = exit (Cmd.eval' cmd)

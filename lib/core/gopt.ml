@@ -61,14 +61,14 @@ let profile_for (config : Planner.config) =
     Engine.graphscope_profile
   else Engine.neo4j_profile
 
-let run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers
+let run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers ?vectorize
     (s : Session.t) logical =
   let config = match config with Some c -> c | None -> Planner.default_config () in
   let profile = match profile with Some p -> p | None -> profile_for config in
   let physical, report = Planner.plan config s.Session.gq logical in
   let result, exec_stats =
-    Engine.run ~profile ?budget ?chunk_size ?morsel_size ?workers s.Session.graph
-      physical
+    Engine.run ~profile ?budget ?chunk_size ?morsel_size ?workers ?vectorize
+      s.Session.graph physical
   in
   { result; exec_stats; report; physical }
 
@@ -135,9 +135,9 @@ let plan_ast_cached ?config (s : Session.t) ast =
       { report with Planner.plan_cache = Some (cache_note ~hit:false s) } )
 
 let run_cypher ?params ?config ?profile ?budget ?chunk_size ?morsel_size ?workers
-    ?(use_cache = true) s src =
+    ?vectorize ?(use_cache = true) s src =
   if not use_cache then
-    run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s
+    run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers ?vectorize s
       (cypher_to_gir ?params s src)
   else begin
     let ast = Gopt_lang.Cypher_parser.parse ?params ~defer_params:true src in
@@ -147,15 +147,16 @@ let run_cypher ?params ?config ?profile ?budget ?chunk_size ?morsel_size ?worker
       (* always run the binding pass: a deferred [$x] with no binding must
          fail with the descriptive undefined-parameter diagnostic, matching
          the parse-time substitution of the uncached path *)
-      Engine.run ~profile ?budget ?chunk_size ?morsel_size ?workers
+      Engine.run ~profile ?budget ?chunk_size ?morsel_size ?workers ?vectorize
         ~params:(Option.value params ~default:[])
         s.Session.graph physical
     in
     { result; exec_stats; report; physical }
   end
 
-let run_gremlin ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s src =
-  run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers s
+let run_gremlin ?config ?profile ?budget ?chunk_size ?morsel_size ?workers ?vectorize
+    s src =
+  run_logical ?config ?profile ?budget ?chunk_size ?morsel_size ?workers ?vectorize s
     (gremlin_to_gir s src)
 
 let plan_cypher ?params ?config ?(use_cache = false) s src =

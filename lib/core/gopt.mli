@@ -65,6 +65,7 @@ val run_cypher :
   ?chunk_size:int ->
   ?morsel_size:int ->
   ?workers:int ->
+  ?vectorize:bool ->
   ?use_cache:bool ->
   Session.t ->
   string ->
@@ -74,7 +75,8 @@ val run_cypher :
     matching engine profile; [budget] (CPU seconds) bounds execution;
     [chunk_size] sets the engine's pipelined batch granularity. [workers]
     executes on the morsel-driven parallel engine with that many OCaml
-    domains ([morsel_size] rows per work unit); see
+    domains ([morsel_size] rows per work unit); [vectorize] (default true)
+    controls the engine's columnar expression kernels; see
     {!Gopt_exec.Engine.run}.
 
     With [use_cache] (the default), the optimized plan is consulted from and
@@ -93,6 +95,7 @@ val run_gremlin :
   ?chunk_size:int ->
   ?morsel_size:int ->
   ?workers:int ->
+  ?vectorize:bool ->
   Session.t ->
   string ->
   outcome
@@ -165,8 +168,9 @@ val explain_cypher :
     applied rules, and the physical plan. *)
 
 val render_trace : outcome -> string
-(** EXPLAIN ANALYZE-style rendering of the outcome's per-operator trace
-    (rows in/out and self time per operator). *)
+(** EXPLAIN ANALYZE-style rendering of the outcome's per-operator trace:
+    rows in/out and self time per operator, plus — on operators that ran a
+    vectorized kernel — the kernel's selected-row count and kernel time. *)
 
 val explain_analyze_cypher :
   ?params:(string * Gopt_graph.Value.t list) list ->

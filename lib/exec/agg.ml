@@ -84,6 +84,12 @@ let update g lk (states : state array) i (a : Logical.agg) =
   | Logical.Collect ->
     st.a_collect <- Eval.eval_rval g lk (Option.get a.Logical.agg_arg) :: st.a_collect
 
+(* Feed one row (via its tag resolver) into every accumulator of a group.
+   Shared by the pipelined Group operator, the reference engine and the
+   parallel engine's per-morsel partials. *)
+let update_all g lk (states : state array) (aggs : Logical.agg list) =
+  List.iteri (fun i a -> update g lk states i a) aggs
+
 (* [merge a b] folds partial state [b] into [a], as if [b]'s input rows had
    arrived after [a]'s. Used by the parallel engine's breaker merge: each
    morsel accumulates its own partial states, merged in morsel order so the

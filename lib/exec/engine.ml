@@ -49,11 +49,12 @@ let resolve_params ?params plan =
      diagnostic, not the Eval safety net *)
   | Some bindings -> Gopt_opt.Physical.bind_params bindings plan
 
-let run ?profile ?budget ?chunk_size ?morsel_size ?workers ?params g plan =
+let run ?profile ?budget ?chunk_size ?morsel_size ?workers ?vectorize ?params g plan =
   let plan = resolve_params ?params plan in
   match workers with
-  | Some w -> Parallel.run ?profile ?budget ?chunk_size ?morsel_size ~workers:w g plan
-  | None -> Operator.run ?profile ?budget ?chunk_size g plan
+  | Some w ->
+    Parallel.run ?profile ?budget ?chunk_size ?morsel_size ?vectorize ~workers:w g plan
+  | None -> Operator.run ?profile ?budget ?chunk_size ?vectorize g plan
 
 let run_materialized ?profile ?budget ?params g plan =
   Engine_reference.run ?profile ?budget g (resolve_params ?params plan)

@@ -70,6 +70,7 @@ val run :
   ?chunk_size:int ->
   ?morsel_size:int ->
   ?workers:int ->
+  ?vectorize:bool ->
   ?params:(string * Gopt_graph.Value.t list) list ->
   Gopt_graph.Property_graph.t ->
   Gopt_opt.Physical.t ->
@@ -77,6 +78,12 @@ val run :
 (** Execute a plan on the pipelined engine. [profile] defaults to
     {!graphscope_profile}; [chunk_size] is the pipelined batch granularity
     (default 1024).
+
+    [vectorize] (default [true]) compiles scan/filter predicates into
+    column-at-a-time kernels over the chunk's typed columns and turns
+    all-variable projections into column swaps; [~vectorize:false] forces
+    the row-at-a-time interpreter for every expression — results are
+    identical either way (the benchmark uses the flag as its baseline).
 
     [params] binds prepared-statement placeholders ({!Gopt_pattern.Expr.Param})
     before execution; each scalar placeholder must bind exactly one value.

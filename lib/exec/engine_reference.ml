@@ -452,7 +452,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget g plan =
               KeyTbl.add groups key entry;
               entry
           in
-          List.iteri (fun i a -> Agg.update g lk states i a) aggs)
+          Agg.update_all g lk states aggs)
         input;
       if KeyTbl.length groups = 0 && ks = [] then
         (* aggregate over an empty input still yields one row *)
@@ -556,7 +556,8 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget g plan =
     | Physical.Union (a, b) ->
       let ba = exec common a and bb = exec common b in
       let out = Batch.create (Batch.fields ba) in
-      Batch.iter (Batch.add out) ba;
+      (* same layout: column-wise append instead of re-adding row by row *)
+      Batch.append_batch out ba;
       Batch.iter (fun row -> Batch.add out (Batch.project_to bb (Batch.fields ba) row)) bb;
       let r = record out in
       release common ba;
@@ -595,7 +596,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget g plan =
         match combine with
         | Logical.C_union ->
           let out = Batch.create (Batch.fields lb) in
-          Batch.iter (Batch.add out) lb;
+          Batch.append_batch out lb;
           Batch.iter (fun row -> Batch.add out (Batch.project_to rb (Batch.fields lb) row)) rb;
           out
         | Logical.C_join (keys, kind) -> join_batches lb rb keys kind

@@ -29,26 +29,33 @@ let num_binop op x y =
     | _ -> Value.Null
   end
 
+(* Allocation-free substring scan: the naive [String.sub]-per-candidate
+   version allocated a fresh string at every position (quadratic garbage on
+   long haystacks). The empty needle is contained in everything, matching
+   the SQL/openCypher convention. *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  if n = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i + n <= m do
+      let j = ref 0 in
+      while !j < n && String.unsafe_get s (!i + !j) = String.unsafe_get sub !j do
+        incr j
+      done;
+      if !j = n then found := true else incr i
+    done;
+    !found
+  end
+
 let string_binop op x y =
   match Value.as_string x, Value.as_string y with
   | Some a, Some b ->
-    let starts_with ~prefix s =
-      String.length s >= String.length prefix
-      && String.sub s 0 (String.length prefix) = prefix
-    in
-    let ends_with ~suffix s =
-      String.length s >= String.length suffix
-      && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
-    in
-    let contains ~sub s =
-      let n = String.length sub and m = String.length s in
-      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-      n = 0 || go 0
-    in
     Value.Bool
       (match op with
-      | Expr.Starts_with -> starts_with ~prefix:b a
-      | Expr.Ends_with -> ends_with ~suffix:b a
+      | Expr.Starts_with -> String.starts_with ~prefix:b a
+      | Expr.Ends_with -> String.ends_with ~suffix:b a
       | Expr.Contains -> contains ~sub:b a
       | _ -> false)
   | _ -> Value.Null
@@ -146,3 +153,161 @@ and eval g lookup e =
     if Value.is_null v then Value.Null else Value.Bool (List.exists (Value.equal v) vs)
 
 let is_true = function Value.Bool true -> true | _ -> false
+
+(* --- vectorized predicate kernels ----------------------------------------- *)
+
+(* A kernel narrows an array of candidate logical row indices to the rows on
+   which the expression evaluates to [Bool true] — the selection-vector
+   contract of the columnar engine. [compile] specializes the hot shapes
+   (top-level AND-chains, [tag.key <op> const] comparisons, null tests,
+   IN-lists over properties) into monomorphic loops that read the dense id
+   columns directly and hoist the property-column hashtable lookup out of
+   the per-row loop; every other shape falls back to the row interpreter
+   above, evaluated per candidate row. Kernels are pure readers of the graph
+   and the batch, so the parallel engine shares one compiled kernel across
+   worker domains. *)
+
+type kernel = { k_run : Batch.t -> int array -> int array; k_vectorized : bool }
+
+let vectorized k = k.k_vectorized
+let run_kernel k b cand = k.k_run b cand
+
+(* narrow [cand] with [test : physical_row -> bool] *)
+let narrow b cand test =
+  let keep = Array.make (Array.length cand) 0 in
+  let n = ref 0 in
+  let sel = Batch.selection b in
+  Array.iter
+    (fun i ->
+      let p = match sel with Some s -> s.(i) | None -> i in
+      if test p then begin
+        keep.(!n) <- i;
+        incr n
+      end)
+    cand;
+  if !n = Array.length cand then cand else Array.sub keep 0 !n
+
+let fallback g e =
+  {
+    k_vectorized = false;
+    k_run =
+      (fun b cand ->
+        let keep = Array.make (Array.length cand) 0 in
+        let n = ref 0 in
+        Array.iter
+          (fun i ->
+            let lk = Batch.lookup b i in
+            if is_true (eval g lk e) then begin
+              keep.(!n) <- i;
+              incr n
+            end)
+          cand;
+        Array.sub keep 0 !n);
+  }
+
+(* the comparison's truth condition as a predicate on [Value.compare] *)
+let cmp_test op =
+  match op with
+  | Expr.Eq -> Some (fun c -> c = 0)
+  | Expr.Neq -> Some (fun c -> c <> 0)
+  | Expr.Lt -> Some (fun c -> c < 0)
+  | Expr.Leq -> Some (fun c -> c <= 0)
+  | Expr.Gt -> Some (fun c -> c > 0)
+  | Expr.Geq -> Some (fun c -> c >= 0)
+  | _ -> None
+
+(* flip the operator for [const <op> prop] rewritten as [prop <op'> const] *)
+let flip_op op =
+  match op with
+  | Expr.Lt -> Expr.Gt
+  | Expr.Leq -> Expr.Geq
+  | Expr.Gt -> Expr.Lt
+  | Expr.Geq -> Expr.Leq
+  | other -> other
+
+let compile ?(vectorize = true) g ~fields e =
+  let layout = Batch.create fields in
+  let none_survives = { k_vectorized = true; k_run = (fun _ _ -> [||]) } in
+  (* property-fetch kernel: [on_prop] decides survival from the (non-hoisted
+     fallback only when the column holds mixed values) property value *)
+  let prop_kernel tag key on_prop =
+    (* the property of an unbound tag or a non-graph binding is Null; its
+       survival verdict is a per-kernel constant *)
+    let on_null = on_prop Value.Null in
+    let all_or_nothing cand = if on_null then cand else [||] in
+    match Batch.pos_opt layout tag with
+    | None ->
+      Some { k_vectorized = true; k_run = (fun _ cand -> all_or_nothing cand) }
+    | Some j ->
+      let run b cand =
+        match Batch.col b j with
+        | Batch.D_vertex ids -> begin
+          match G.vprop_column g key with
+          | None -> all_or_nothing cand (* property absent on every vertex *)
+          | Some pa -> narrow b cand (fun p -> on_prop pa.(ids.(p)))
+        end
+        | Batch.D_edge ids -> begin
+          match G.eprop_column g key with
+          | None -> all_or_nothing cand
+          | Some pa -> narrow b cand (fun p -> on_prop pa.(ids.(p)))
+        end
+        | Batch.D_boxed vals ->
+          (* promoted/mixed column: resolve the binding per row *)
+          narrow b cand (fun p ->
+              match vals.(p) with
+              | Rval.Rvertex v -> on_prop (G.vprop g v key)
+              | Rval.Redge e -> on_prop (G.eprop g e key)
+              | _ -> on_null)
+      in
+      Some { k_vectorized = true; k_run = run }
+  in
+  let rec build e =
+    match specialize e with Some k -> k | None -> fallback g e
+  and specialize e =
+    match e with
+    | Expr.Binop (Expr.And, a, b) ->
+      (* Kleene AND is [Bool true] exactly when both sides are, so a
+         conjunction narrows sequentially — the surviving set is identical
+         to evaluating the whole conjunction per row. *)
+      let ka = build a and kb = build b in
+      Some
+        {
+          k_vectorized = ka.k_vectorized || kb.k_vectorized;
+          k_run =
+            (fun b cand ->
+              let s = ka.k_run b cand in
+              if Array.length s = 0 then s else kb.k_run b s);
+        }
+    | Expr.Binop (op, Expr.Prop (tag, key), Expr.Const c)
+    | Expr.Binop (op, Expr.Const c, Expr.Prop (tag, key)) -> begin
+      let op =
+        match e with Expr.Binop (_, Expr.Const _, _) -> flip_op op | _ -> op
+      in
+      match cmp_test op with
+      | None -> None
+      | Some test ->
+        if Value.is_null c then Some none_survives
+        else
+          prop_kernel tag key (fun pv ->
+              match pv, c with
+              (* monomorphic int loop for the hot case *)
+              | Value.Int x, Value.Int y -> test (Int.compare x y)
+              | Value.Null, _ -> false
+              | _ -> test (Value.compare pv c))
+    end
+    | Expr.Unop (Expr.Is_not_null, Expr.Prop (tag, key)) ->
+      prop_kernel tag key (fun pv -> not (Value.is_null pv))
+    | Expr.Unop (Expr.Is_null, Expr.Prop (tag, key)) -> begin
+      (* [Is_null] is true for unbound tags too: only specialize when the
+         tag is bound in this layout (then the binding is a vertex/edge and
+         the row path would fetch the property just the same) *)
+      match Batch.pos_opt layout tag with
+      | None -> None
+      | Some _ -> prop_kernel tag key (fun pv -> Value.is_null pv)
+    end
+    | Expr.In_list (Expr.Prop (tag, key), vs) ->
+      prop_kernel tag key (fun pv ->
+          (not (Value.is_null pv)) && List.exists (Value.equal pv) vs)
+    | _ -> None
+  in
+  if vectorize then build e else fallback g e

@@ -2,11 +2,15 @@ type t = {
   name : string;
   mutable rows_in : int;
   mutable rows_out : int;
+  mutable rows_selected : int;
+  mutable kernel_ns : float;
   mutable time_s : float;
   mutable children : t list;
 }
 
-let make name children = { name; rows_in = 0; rows_out = 0; time_s = 0.0; children }
+let make name children =
+  { name; rows_in = 0; rows_out = 0; rows_selected = 0; kernel_ns = 0.0;
+    time_s = 0.0; children }
 
 type profile = { prof_name : string; count_comm : bool; parallel : bool }
 
@@ -94,9 +98,17 @@ let fmt_time s =
 
 let pp ppf tr =
   let rec go indent tr =
-    Format.fprintf ppf "%s%s  (rows in=%d out=%d, time=%s)@,"
+    let kernel =
+      (* kernel-level counters appear only on operators that actually ran a
+         vectorized kernel, keeping row-interpreted nodes unchanged *)
+      if tr.rows_selected > 0 || tr.kernel_ns > 0.0 then
+        Printf.sprintf ", kernel: selected=%d in %s" tr.rows_selected
+          (fmt_time (tr.kernel_ns *. 1e-9))
+      else ""
+    in
+    Format.fprintf ppf "%s%s  (rows in=%d out=%d%s, time=%s)@,"
       (String.make (2 * indent) ' ')
-      tr.name tr.rows_in tr.rows_out (fmt_time tr.time_s);
+      tr.name tr.rows_in tr.rows_out kernel (fmt_time tr.time_s);
     List.iter (go (indent + 1)) tr.children
   in
   Format.fprintf ppf "@[<v>";
@@ -118,6 +130,8 @@ let rec same_shape a b =
 let rec merge_into dst src =
   dst.rows_in <- dst.rows_in + src.rows_in;
   dst.rows_out <- dst.rows_out + src.rows_out;
+  dst.rows_selected <- dst.rows_selected + src.rows_selected;
+  dst.kernel_ns <- dst.kernel_ns +. src.kernel_ns;
   dst.time_s <- dst.time_s +. src.time_s;
   List.iter2 merge_into dst.children src.children
 
@@ -126,6 +140,8 @@ let rec copy tr =
     name = tr.name;
     rows_in = tr.rows_in;
     rows_out = tr.rows_out;
+    rows_selected = tr.rows_selected;
+    kernel_ns = tr.kernel_ns;
     time_s = tr.time_s;
     children = List.map copy tr.children;
   }

@@ -10,6 +10,12 @@ type t = {
   name : string;  (** Single-line operator description. *)
   mutable rows_in : int;
   mutable rows_out : int;
+  mutable rows_selected : int;
+      (** Rows that survived this operator's vectorized kernels (0 on
+          row-interpreted operators). *)
+  mutable kernel_ns : float;
+      (** CPU nanoseconds spent inside vectorized kernels — the kernel-level
+          share of [time_s]. *)
   mutable time_s : float;  (** Self CPU seconds (exclusive of children). *)
   mutable children : t list;
 }

@@ -110,23 +110,44 @@ let compare_keys ks ka kb =
   go ks ka kb
 
 let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
-    ?(chunk_size = default_chunk_size) ?source g plan =
+    ?(chunk_size = default_chunk_size) ?(vectorize = true) ?source g plan =
   let schema = G.schema g in
   let vuniv = Schema.n_vtypes schema and euniv = Schema.n_etypes schema in
   let st = Op_trace.fresh_stats () in
   let clk = Op_trace.clock () in
   let start = Sys.time () in
   let ticks = ref 0 in
+  let tick_check () =
+    (match budget with
+    | Some b when Sys.time () -. start > b -> raise Op_trace.Timeout
+    | _ -> ());
+    match stop_poll with
+    | Some poll when poll () -> raise Op_trace.Timeout
+    | _ -> ()
+  in
   let tick () =
     incr ticks;
-    if !ticks land 8191 = 0 then begin
-      (match budget with
-      | Some b when Sys.time () -. start > b -> raise Op_trace.Timeout
-      | _ -> ());
-      match stop_poll with
-      | Some poll when poll () -> raise Op_trace.Timeout
-      | _ -> ()
+    if !ticks land 8191 = 0 then tick_check ()
+  in
+  (* chunk-granular tick: fires whenever the counter crosses an 8192
+     boundary, so budget polling frequency matches the row-at-a-time path *)
+  let tick_n n =
+    let before = !ticks in
+    ticks := before + n;
+    if !ticks lsr 13 <> before lsr 13 then tick_check ()
+  in
+  (* run a compiled predicate kernel, charging kernel-level counters to the
+     operator's trace node (only genuinely vectorized kernels are counted —
+     fallback kernels are the row interpreter under another name) *)
+  let run_kern tr kern b cand =
+    if Eval.vectorized kern then begin
+      let t0 = Sys.time () in
+      let out = Eval.run_kernel kern b cand in
+      tr.Op_trace.kernel_ns <- tr.Op_trace.kernel_ns +. ((Sys.time () -. t0) *. 1e9);
+      tr.Op_trace.rows_selected <- tr.Op_trace.rows_selected + Array.length out;
+      out
     end
+    else Eval.run_kernel kern b cand
   in
   let mk_trace ?(count_op = true) label =
     if count_op then st.Op_trace.operators <- st.Op_trace.operators + 1;
@@ -162,19 +183,34 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
         sink.k_consume b
       end
     in
+    let account n =
+      tr.Op_trace.rows_out <- tr.Op_trace.rows_out + n;
+      if count then begin
+        st.Op_trace.intermediate_rows <- st.Op_trace.intermediate_rows + n;
+        st.Op_trace.intermediate_cells <- st.Op_trace.intermediate_cells + (n * width);
+        if profile.Op_trace.count_comm then begin
+          st.Op_trace.comm_rows <- st.Op_trace.comm_rows + n;
+          st.Op_trace.comm_cells <- st.Op_trace.comm_cells + (n * width)
+        end
+      end
+    in
     let emit row =
       Batch.add !buf row;
-      tr.Op_trace.rows_out <- tr.Op_trace.rows_out + 1;
-      if count then begin
-        st.Op_trace.intermediate_rows <- st.Op_trace.intermediate_rows + 1;
-        st.Op_trace.intermediate_cells <- st.Op_trace.intermediate_cells + width;
-        if profile.Op_trace.count_comm then begin
-          st.Op_trace.comm_rows <- st.Op_trace.comm_rows + 1;
-          st.Op_trace.comm_cells <- st.Op_trace.comm_cells + width
-        end
-      end;
+      account 1;
       if Batch.n_rows !buf >= chunk_size then begin
         flush ();
+        if not (sink.k_alive ()) then raise Stop
+      end
+    in
+    (* push a pre-built chunk (a filtered view or a column swap) downstream
+       without row-at-a-time rebuffering; any buffered rows flush first so
+       output order is preserved *)
+    let emit_chunk b =
+      let n = Batch.n_rows b in
+      if n > 0 then begin
+        flush ();
+        account n;
+        sink.k_consume b;
         if not (sink.k_alive ()) then raise Stop
       end
     in
@@ -182,7 +218,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
       (try flush () with Stop -> ());
       sink.k_close ()
     in
-    (emit, close)
+    (emit, emit_chunk, close)
   in
   (* collect a pipeline's output into a batch (final results, the common
      sub-plan, join build inputs); collected rows are live *)
@@ -192,11 +228,8 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
       {
         k_consume =
           (fun chunk ->
-            Batch.iter
-              (fun row ->
-                Batch.add out row;
-                Op_trace.live_add st 1)
-              chunk);
+            Batch.append_batch out chunk;
+            Op_trace.live_add st (Batch.n_rows chunk));
         k_close = ignore;
         k_alive = (fun () -> true);
       }
@@ -276,7 +309,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
     in
     (* streaming unary operator: per-input-row body emitting via [emit] *)
     let streaming ?alive x tr fields on_row =
-      let emit, close = emitter tr fields sink in
+      let emit, _, close = emitter tr fields sink in
       let alive = match alive with Some f -> f | None -> sink.k_alive in
       let op =
         mk_sink tr ~alive ~close
@@ -302,7 +335,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
               chunk)
       in
       let build_tr = run_build build_sink in
-      let emit, close = emitter tr jc.Join_core.out_fields sink in
+      let emit, _, close = emitter tr jc.Join_core.out_fields sink in
       let probe_sink =
         mk_sink tr ~alive:sink.k_alive
           ~consume:(fun chunk ->
@@ -327,28 +360,36 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
       | None -> failwith "Engine: CommonRef outside WithCommon"
       | Some cb ->
         let tr = mk_trace ~count_op:false (label plan) in
-        let emit, close = emitter ~count:false tr (Batch.fields cb) sink in
+        let emit, _, close = emitter ~count:false tr (Batch.fields cb) sink in
         drive tr close (fun () -> Batch.iter emit cb)
     end
     | Physical.Scan { alias; con; pred } ->
       let tr = mk_trace (label plan) in
       let fields = [ alias ] in
-      let layout = Batch.create fields in
-      let emit, close = emitter tr fields sink in
+      let kernel = Option.map (fun p -> Eval.compile ~vectorize g ~fields p) pred in
+      let _, emit_chunk, close = emitter tr fields sink in
+      (* vectorized scan: fill a dense id column per chunk straight from the
+         type index, then narrow it with the compiled predicate kernel — no
+         per-vertex boxing, no per-row closure dispatch *)
       drive tr close (fun () ->
           List.iter
             (fun t ->
-              Array.iter
-                (fun v ->
-                  tick ();
-                  let row = [| Rval.Rvertex v |] in
-                  let keep =
-                    match pred with
-                    | None -> true
-                    | Some p -> Eval.is_true (Eval.eval g (Eval.lookup_of_row layout row) p)
-                  in
-                  if keep then emit row)
-                (G.vertices_of_vtype g t))
+              let verts = G.vertices_of_vtype g t in
+              let nv = Array.length verts in
+              let at = ref 0 in
+              while !at < nv do
+                let len = min chunk_size (nv - !at) in
+                tick_n len;
+                let b = Batch.of_vertex_ids alias verts ~pos:!at ~len in
+                at := !at + len;
+                match kernel with
+                | None -> emit_chunk b
+                | Some k ->
+                  let selected = run_kern tr k b (Array.init len Fun.id) in
+                  if Array.length selected = len then emit_chunk b
+                  else if Array.length selected > 0 then
+                    emit_chunk (Batch.select b selected)
+              done)
             (Tc.to_list ~universe:vuniv con))
     | Physical.Expand_all (x, step) ->
       let child_fields = Physical.output_fields x in
@@ -551,26 +592,75 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
       tr
     | Physical.Select (x, pred) ->
       let fields = Physical.output_fields x in
-      let layout = Batch.create fields in
       let tr = mk_trace (label plan) in
-      streaming x tr fields (fun emit row ->
-          tick ();
-          if Eval.is_true (Eval.eval g (Eval.lookup_of_row layout row) pred) then emit row)
+      let kernel = Eval.compile ~vectorize g ~fields pred in
+      let _, emit_chunk, close = emitter tr fields sink in
+      (* vectorized filter: the kernel marks survivors and the chunk is
+         forwarded as a selection-vector view — no row copying *)
+      let op =
+        mk_sink tr ~alive:sink.k_alive ~close
+          ~consume:(fun chunk ->
+            let n = Batch.n_rows chunk in
+            tick_n n;
+            let selected = run_kern tr kernel chunk (Array.init n Fun.id) in
+            if Array.length selected = n then emit_chunk chunk
+            else if Array.length selected > 0 then
+              emit_chunk (Batch.select chunk selected))
+      in
+      let ctr = run_plan common x op in
+      tr.Op_trace.children <- [ ctr ];
+      tr
     | Physical.Project (x, ps) ->
       let child_fields = Physical.output_fields x in
       let child_layout = Batch.create child_fields in
       let fields = List.map snd ps in
       let tr = mk_trace (label plan) in
-      streaming x tr fields (fun emit row ->
-          tick ();
-          let lk = Eval.lookup_of_row child_layout row in
-          emit (Array.of_list (List.map (fun (e, _) -> Eval.eval_rval g lk e) ps)))
+      (* when every projection is a bound [Var], the whole operator is a
+         column swap: the output chunk shares the input's columns and
+         selection vector *)
+      let var_positions =
+        let rec go acc = function
+          | [] -> Some (List.rev acc)
+          | (Gopt_pattern.Expr.Var tag, alias) :: rest -> begin
+            match Batch.pos_opt child_layout tag with
+            | Some j -> go ((j, alias) :: acc) rest
+            | None -> None
+          end
+          | _ -> None
+        in
+        if vectorize then go [] ps else None
+      in
+      begin
+        match var_positions with
+        | Some pairs ->
+          let _, emit_chunk, close = emitter tr fields sink in
+          let op =
+            mk_sink tr ~alive:sink.k_alive ~close
+              ~consume:(fun chunk ->
+                let n = Batch.n_rows chunk in
+                tick_n n;
+                let t0 = Sys.time () in
+                let out = Batch.project chunk pairs in
+                tr.Op_trace.kernel_ns <-
+                  tr.Op_trace.kernel_ns +. ((Sys.time () -. t0) *. 1e9);
+                tr.Op_trace.rows_selected <- tr.Op_trace.rows_selected + n;
+                emit_chunk out)
+          in
+          let ctr = run_plan common x op in
+          tr.Op_trace.children <- [ ctr ];
+          tr
+        | None ->
+          streaming x tr fields (fun emit row ->
+              tick ();
+              let lk = Eval.lookup_of_row child_layout row in
+              emit (Array.of_list (List.map (fun (e, _) -> Eval.eval_rval g lk e) ps)))
+      end
     | Physical.Group (x, ks, aggs) ->
       let child_fields = Physical.output_fields x in
       let child_layout = Batch.create child_fields in
       let fields = List.map snd ks @ List.map (fun a -> a.Logical.agg_alias) aggs in
       let tr = mk_trace (label plan) in
-      let emit, close_down = emitter tr fields sink in
+      let emit, _, close_down = emitter tr fields sink in
       let groups : (Rval.t list * Agg.state array) KeyTbl.t = KeyTbl.create 64 in
       let op =
         mk_sink tr ~alive:sink.k_alive
@@ -589,7 +679,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
                     Op_trace.live_add st 1;
                     entry
                 in
-                List.iteri (fun i a -> Agg.update g lk states i a) aggs)
+                Agg.update_all g lk states aggs)
               chunk)
           ~close:(fun () ->
             (try
@@ -613,7 +703,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
       let fields = Physical.output_fields x in
       let layout = Batch.create fields in
       let tr = mk_trace (label plan) in
-      let emit, close_down = emitter tr fields sink in
+      let emit, _, close_down = emitter tr fields sink in
       let cmp (ka, _) (kb, _) = compare_keys ks ka kb in
       let buf : (Value.t list * Rval.t array) Vec.t = Vec.create () in
       (* with a limit, keep the buffer bounded: sort-and-truncate whenever it
@@ -704,7 +794,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
       in
       let tr = mk_trace (label plan) in
       let seen = KeyTbl.create 64 in
-      let emit, close_down = emitter tr fields sink in
+      let emit, _, close_down = emitter tr fields sink in
       let op =
         mk_sink tr ~alive:sink.k_alive
           ~consume:(fun chunk ->
@@ -751,7 +841,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
       let tr = mk_trace (label plan) in
       (* forwarding node: counts the combined stream once, like the
          materialized engine recorded the concatenated batch *)
-      let emit, close = emitter tr fields sink in
+      let emit, _, close = emitter tr fields sink in
       let pending = ref 2 in
       let branch_close () =
         decr pending;
@@ -778,7 +868,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget ?stop_poll
         | Logical.C_union ->
           let fields = Physical.output_fields left in
           let r_layout = Batch.create (Physical.output_fields right) in
-          let emit, close = emitter tr fields sink in
+          let emit, _, close = emitter tr fields sink in
           let pending = ref 2 in
           let branch_close () =
             decr pending;

@@ -49,7 +49,9 @@ type input =
       start : int;
       len : int;
       alias : string;
-      pred : Gopt_pattern.Expr.t option;
+      kernel : Eval.kernel option;
+          (** Scan predicate compiled once on the coordinator; kernels are
+              pure readers, so one compiled kernel serves every domain. *)
     }
   | In_rows of Batch.t
 
@@ -77,7 +79,7 @@ type 'a task_result = {
 
 let run ?(profile = Op_trace.graphscope_profile) ?budget
     ?(chunk_size = Operator.default_chunk_size)
-    ?(morsel_size = default_morsel_size) ~workers g plan =
+    ?(morsel_size = default_morsel_size) ?(vectorize = true) ~workers g plan =
   if workers < 1 then invalid_arg "Parallel.run: workers must be >= 1";
   if morsel_size < 1 then invalid_arg "Parallel.run: morsel_size must be >= 1";
   let schema = G.schema g in
@@ -118,18 +120,18 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget
       let source, scan_rows =
         match m.m_input with
         | In_rows b -> (b, 0)
-        | In_scan { verts; start; len; alias; pred } ->
-          let layout = Batch.create [ alias ] in
-          let b = Batch.create [ alias ] in
-          for k = start to start + len - 1 do
-            let row = [| Rval.Rvertex verts.(k) |] in
-            let keep =
-              match pred with
-              | None -> true
-              | Some p -> Eval.is_true (Eval.eval g (Eval.lookup_of_row layout row) p)
-            in
-            if keep then Batch.add b row
-          done;
+        | In_scan { verts; start; len; alias; kernel } ->
+          (* columnar morsel: slice the type index into an id column, then
+             narrow it with the precompiled kernel — survivors stay a
+             selection-vector view, no row materialization *)
+          let b = Batch.of_vertex_ids alias verts ~pos:start ~len in
+          let b =
+            match kernel with
+            | None -> b
+            | Some k ->
+              let selected = Eval.run_kernel k b (Array.init len Fun.id) in
+              if Array.length selected = len then b else Batch.select b selected
+          in
           (b, Batch.n_rows b)
       in
       let out, tstats, ttrace =
@@ -141,7 +143,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget
             let out, fs =
               Operator.run ~profile ?budget:(remaining_budget ())
                 ~stop_poll:(fun () -> Atomic.get cancelled)
-                ~chunk_size ~source g frag
+                ~chunk_size ~vectorize ~source g frag
             in
             (out, Some fs, fs.Op_trace.op_trace)
           end
@@ -333,6 +335,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget
     in
     match p with
     | Physical.Scan { alias; con; pred } ->
+      let kernel = Option.map (fun p -> Eval.compile ~vectorize g ~fields:[ alias ] p) pred in
       let morsels = ref [] in
       List.iter
         (fun t ->
@@ -342,7 +345,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget
           while !pos < nv do
             let len = min morsel_size (nv - !pos) in
             morsels :=
-              { m_input = In_scan { verts; start = !pos; len; alias; pred };
+              { m_input = In_scan { verts; start = !pos; len; alias; kernel };
                 m_in_fields = [ alias ]; m_fragment = None }
               :: !morsels;
             pos := !pos + len
@@ -433,7 +436,7 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget
                 Vec.push order key;
                 states
             in
-            List.iteri (fun i a -> Agg.update g lk states i a) aggs)
+            Agg.update_all g lk states aggs)
           b;
         ((tbl, order), Vec.length order)
       in
@@ -565,7 +568,8 @@ let run ?(profile = Op_trace.graphscope_profile) ?budget
           let rb, rtr = exec env' right in
           let r_layout = Batch.create (Batch.fields rb) in
           let out = Batch.create fields in
-          Batch.iter (Batch.add out) lb;
+          if Batch.fields lb = fields then Batch.append_batch out lb
+          else Batch.iter (Batch.add out) lb;
           Batch.iter (fun row -> Batch.add out (Batch.project_to r_layout fields row)) rb;
           count_rows (Batch.n_rows out) (List.length fields);
           mk_node lbl [ ctr; ltr; rtr ] out

@@ -148,6 +148,9 @@ let eprop t e key =
   | Some col -> col.(e)
   | None -> Value.Null
 
+let vprop_column t key = Hashtbl.find_opt t.vprops key
+let eprop_column t key = Hashtbl.find_opt t.eprops key
+
 let pp_stats ppf t =
   Format.fprintf ppf "@[<v>|V|=%d |E|=%d@," (n_vertices t) (n_edges t);
   List.iter

@@ -114,5 +114,14 @@ val vprop : t -> int -> string -> Value.t
 
 val eprop : t -> int -> string -> Value.t
 
+val vprop_column : t -> string -> Value.t array option
+(** The dense property column for [key], indexed by vertex id (absent
+    entries hold [Null]); [None] when no vertex carries the property.
+    Owned by the graph — do not mutate. Vectorized expression kernels use
+    this to hoist the per-key hashtable lookup out of their row loops. *)
+
+val eprop_column : t -> string -> Value.t array option
+(** Edge-indexed analogue of {!vprop_column}. *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** One-line summary: vertex/edge counts per type. *)

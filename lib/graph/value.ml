@@ -24,14 +24,19 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Int and the equal integral Float must hash identically ([compare] treats
+   them as equal). Both canonicalize through the int image of their float
+   value: for |n| < 2^53 that is [n] itself, and for larger magnitudes two
+   ints with the same float image collapse to the same hash — exactly the
+   agreement [compare] requires. Unlike the previous [(tag, float)] tuple
+   round-trip this allocates nothing: the intermediate float never escapes
+   a register and [Hashtbl.hash] on an immediate int does not box. *)
 let hash = function
   | Null -> 17
   | Bool b -> if b then 31 else 37
-  | Int n -> Hashtbl.hash (2, float_of_int n)
-  | Float f ->
-    (* Integral floats must hash like the corresponding Int. *)
-    if Float.is_integer f then Hashtbl.hash (2, f) else Hashtbl.hash (3, f)
-  | Str s -> Hashtbl.hash (4, s)
+  | Int n -> Hashtbl.hash (int_of_float (float_of_int n))
+  | Float f -> if Float.is_integer f then Hashtbl.hash (int_of_float f) else Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
 
 let pp ppf = function
   | Null -> Format.pp_print_string ppf "null"

@@ -246,6 +246,27 @@ let qc =
        (m:Post|Comment)-[:HAS_CREATOR]->(p1), (m)-[:HAS_TAG]->(t) RETURN count(*) AS cnt";
   ]
 
+(* ------------------------------------------------------------------ VS -- *)
+
+let vs =
+  [
+    q "VS1" "length/date band over the message union"
+      "MATCH (m:Post|Comment) WHERE m.length > 420 AND m.creationDate < 1450000000 \
+       RETURN m.id AS mid, m.length AS len";
+    q "VS2" "string-equality and birthday filter, whole-row projection"
+      "MATCH (p:Person) WHERE p.browserUsed = 'Firefox' AND p.birthday >= 1980 \
+       RETURN p AS person";
+    q "VS3" "IN-list over comment lengths"
+      "MATCH (c:Comment) WHERE c.length IN [5, 50, 100, 150, 200] RETURN c AS c";
+    q "VS4" "null-test conjunction over persons"
+      "MATCH (p:Person) WHERE p.firstName IS NOT NULL AND p.birthday < 2000 \
+       AND p.gender = 'male' RETURN p AS p";
+    q "VS5" "wide date filter, projection-dominated"
+      "MATCH (m:Post) WHERE m.creationDate >= 1300000000 RETURN m AS msg";
+    q "VS6" "unfiltered scan and projection"
+      "MATCH (t:Tag) RETURN t AS t";
+  ]
+
 let find queries name = List.find (fun q -> q.name = name) queries
 
 let pattern_of_cypher schema cypher =

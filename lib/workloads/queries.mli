@@ -34,6 +34,11 @@ val qr : query list
 val qt : query list
 val qc : query list
 
+val vs : query list
+(** Scan/filter/projection-dominated queries (no expansions): the working
+    set of the [vectorized] execution experiment, where columnar kernels
+    carry the whole plan. *)
+
 val find : query list -> string -> query
 (** Lookup by name; raises [Not_found]. *)
 

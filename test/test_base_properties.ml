@@ -200,6 +200,139 @@ let prop_batch_pos_agree =
          | exception Invalid_argument _ -> true
          | _ -> false))
 
+(* a random mixed-column batch: vertex ids, scalars and nulls interleaved so
+   adaptive columns promote from dense int arrays to boxed storage mid-build *)
+let gen_mixed_batch rng fields =
+  let b = Batch.create fields in
+  let n = Prng.int rng 40 in
+  for _ = 1 to n do
+    Batch.add b
+      (Array.of_list
+         (List.map
+            (fun _ ->
+              match Prng.int rng 4 with
+              | 0 -> Rval.Rvertex (Prng.int rng 8)
+              | 1 -> Rval.Rval (Value.Int (Prng.int rng 100))
+              | 2 -> Rval.Rval (Value.Str (Printf.sprintf "s%d" (Prng.int rng 5)))
+              | _ -> Rval.Rnull)
+            fields))
+  done;
+  b
+
+(* [select] is a row-order-preserving gather (duplicates allowed), [project]
+   a column permutation, and both compose with existing selection vectors;
+   views refuse [add] *)
+let prop_batch_select_project =
+  QCheck.Test.make ~name:"batch: select/project views = row model" ~count:300
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let fields = List.init (1 + Prng.int rng 4) (Printf.sprintf "f%d") in
+      let b = gen_mixed_batch rng fields in
+      let n = Batch.n_rows b in
+      if n = 0 then true
+      else begin
+        let idxs = Array.init (Prng.int rng (2 * n)) (fun _ -> Prng.int rng n) in
+        let sel = Batch.select b idxs in
+        let sel_ok =
+          rows_of sel = List.map (fun i -> Array.to_list (Batch.row b i)) (Array.to_list idxs)
+        in
+        (* gather again on the view: selection vectors must compose *)
+        let m = Batch.n_rows sel in
+        let idxs2 = Array.init (min m 7) (fun k -> (k * 3) mod m) in
+        let sel2 = Batch.select sel (Array.copy idxs2) in
+        let sel2_ok =
+          m = 0
+          || rows_of sel2
+             = List.map (fun i -> Array.to_list (Batch.row sel i)) (Array.to_list idxs2)
+        in
+        let perm = List.mapi (fun k f -> (List.length fields - 1 - k, f ^ "'")) fields in
+        let proj = Batch.project b perm in
+        let proj_ok =
+          Batch.fields proj = List.map snd perm
+          && rows_of proj
+             = List.map
+                 (fun row -> List.map (fun (j, _) -> List.nth row j) perm)
+                 (rows_of b)
+        in
+        let view_refuses_add =
+          match Batch.add proj (Array.make (List.length fields) Rval.Rnull) with
+          | exception Invalid_argument _ -> true
+          | () -> false
+        in
+        sel_ok && sel2_ok && proj_ok && view_refuses_add
+      end)
+
+(* vectorized kernels agree with the row interpreter on every predicate
+   shape — specialized column loops, AND-composition, and the row fallback
+   alike — including on selection-vector views and sparse candidate sets *)
+module Eval = Gopt_exec.Eval
+module G = Gopt_graph.Property_graph
+
+let gen_pred rng =
+  let cmp_ops = [| Expr.Eq; Expr.Neq; Expr.Lt; Expr.Leq; Expr.Gt; Expr.Geq |] in
+  let leaf () =
+    let tag = if Prng.int rng 5 = 0 then "z" else "a" in
+    let key = if Prng.int rng 4 = 0 then "name" else "age" in
+    let prop = Expr.Prop (tag, key) in
+    match Prng.int rng 7 with
+    | 0 -> Expr.Unop (Expr.Is_null, prop)
+    | 1 -> Expr.Unop (Expr.Is_not_null, prop)
+    | 2 ->
+      Expr.In_list (prop, [ Value.Int (20 + Prng.int rng 4); Value.Str "p1" ])
+    | 3 ->
+      (* const on the left: the kernel must flip the comparison *)
+      Expr.Binop
+        (cmp_ops.(Prng.int rng 6), Expr.Const (Value.Int (20 + Prng.int rng 5)), prop)
+    | 4 -> Expr.Label (if Prng.int rng 2 = 0 then "Person" else "City")
+    | _ ->
+      let c =
+        match Prng.int rng 5 with
+        | 0 -> Value.Null
+        | 1 -> Value.Str "p2"
+        | _ -> Value.Int (20 + Prng.int rng 5)
+      in
+      Expr.Binop (cmp_ops.(Prng.int rng 6), prop, Expr.Const c)
+  in
+  let rec go depth =
+    if depth = 0 then leaf ()
+    else
+      match Prng.int rng 4 with
+      | 0 | 1 -> Expr.Binop (Expr.And, go (depth - 1), go (depth - 1))
+      | 2 -> Expr.Binop (Expr.Or, go (depth - 1), go (depth - 1))
+      | _ -> Expr.Unop (Expr.Not, go (depth - 1))
+  in
+  go (Prng.int rng 3)
+
+let prop_kernel_matches_row_filter =
+  QCheck.Test.make ~name:"eval: vectorized kernel = row filter" ~count:500
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let pred = gen_pred rng in
+      let nv = G.n_vertices graph in
+      let ids = Array.init nv Fun.id in
+      let b = Batch.of_vertex_ids "a" ids ~pos:0 ~len:nv in
+      (* half the time, filter a view so the kernel sees a selection vector *)
+      let b =
+        if Prng.int rng 2 = 0 then Batch.sub b ~pos:(Prng.int rng 3) ~len:(nv - 3)
+        else b
+      in
+      let n = Batch.n_rows b in
+      let cand =
+        Array.of_list
+          (List.filter (fun _ -> Prng.int rng 4 > 0) (List.init n Fun.id))
+      in
+      let kern = Eval.compile graph ~fields:[ "a" ] pred in
+      let got = Array.to_list (Eval.run_kernel kern b cand) in
+      let layout = Batch.create [ "a" ] in
+      let expect =
+        List.filter
+          (fun i ->
+            Eval.is_true
+              (Eval.eval graph (Eval.lookup_of_row layout (Batch.row b i)) pred))
+          (Array.to_list cand)
+      in
+      got = expect)
+
 (* chunk flushing at fuzzed granularities: the pipelined engine must emit
    the same rows at any chunk_size, and never push an empty chunk (the
    engine's sink guard raises Invalid_argument if one ever appears) *)
@@ -288,6 +421,8 @@ let () =
           [
             prop_batch_sub_concat_identity;
             prop_batch_pos_agree;
+            prop_batch_select_project;
+            prop_kernel_matches_row_filter;
             prop_chunk_size_fuzz;
           ] );
       ( "containers",

@@ -288,6 +288,11 @@ let canon_rows b =
   Batch.iter (fun row -> rows := Array.to_list row :: !rows) b;
   List.sort (List.compare Rval.compare) !rows
 
+let ordered_rows b =
+  let rows = ref [] in
+  Batch.iter (fun row -> rows := Array.to_list row :: !rows) b;
+  List.rev !rows
+
 let test_differential_workloads () =
   let g = Gopt_workloads.Ldbc.generate ~persons:60 () in
   let session = Gopt.Session.create g in
@@ -296,6 +301,14 @@ let test_differential_workloads () =
       let physical, _ = Gopt.plan_cypher session q.Queries.cypher in
       let b_pipe, s_pipe = Engine.run g physical in
       let b_mat, s_mat = Engine.run_materialized g physical in
+      (* the columnar kernels are an implementation detail: forcing the
+         row-interpreter fallback must reproduce the exact same rows in the
+         exact same order *)
+      let b_rowpath, _ = Engine.run ~vectorize:false g physical in
+      Alcotest.(check bool)
+        (q.Queries.name ^ ": vectorize off is byte-identical")
+        true
+        (List.equal (List.equal Rval.equal) (ordered_rows b_pipe) (ordered_rows b_rowpath));
       Alcotest.(check (list string))
         (q.Queries.name ^ ": fields")
         (Batch.fields b_mat) (Batch.fields b_pipe);
@@ -341,7 +354,7 @@ let test_chunk_size_neutral () =
               (name ^ ": same rows")
               true
               (List.equal (List.equal Rval.equal) (canon_rows b_ref) (canon_rows b)))
-        [ 1; 7 ])
+        [ 1; 7; 1024 ])
     (Queries.comprehensive @ Queries.qr @ Queries.qt @ Queries.qc)
 
 let test_limit_short_circuit () =
@@ -411,6 +424,80 @@ let test_trace_totals () =
     Alcotest.(check int) "sum of rows_out = intermediate_rows" st.Engine.intermediate_rows
       (sum tr)
 
+(* the allocation-free CONTAINS scan, including the cases the naive
+   quadratic version got right only by accident *)
+let test_contains () =
+  let module Eval = Gopt_exec.Eval in
+  Alcotest.(check bool) "empty needle in empty" true (Eval.contains ~sub:"" "");
+  Alcotest.(check bool) "empty needle" true (Eval.contains ~sub:"" "abc");
+  Alcotest.(check bool) "needle longer than haystack" false (Eval.contains ~sub:"abc" "ab");
+  Alcotest.(check bool) "overlapping needle" true (Eval.contains ~sub:"aa" "aaa");
+  Alcotest.(check bool) "overlap across near-miss" true (Eval.contains ~sub:"aab" "aaab");
+  Alcotest.(check bool) "at the start" true (Eval.contains ~sub:"ab" "abc");
+  Alcotest.(check bool) "at the end" true (Eval.contains ~sub:"bc" "abc");
+  Alcotest.(check bool) "absent" false (Eval.contains ~sub:"ac" "abc");
+  (* differential vs. the obvious spec on random short strings *)
+  let spec ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let rng = Prng.create 7 in
+  for _ = 1 to 2000 do
+    let mk len = String.init (Prng.int rng len) (fun _ -> Char.chr (97 + Prng.int rng 3)) in
+    let s = mk 9 and sub = mk 5 in
+    Alcotest.(check bool)
+      (Printf.sprintf "contains %S %S" sub s)
+      (spec ~sub s) (Eval.contains ~sub s)
+  done
+
+(* Int and integral Float hash identically (they compare equal), without
+   the old tuple round-trip *)
+let test_value_hash_agreement () =
+  let check_agree a b =
+    Alcotest.(check bool)
+      (Printf.sprintf "hash %s = hash %s" (Value.to_string a) (Value.to_string b))
+      true
+      (Value.hash a = Value.hash b)
+  in
+  check_agree (Value.Int 5) (Value.Float 5.);
+  check_agree (Value.Int 0) (Value.Float 0.);
+  check_agree (Value.Int 0) (Value.Float (-0.));
+  check_agree (Value.Int (-3)) (Value.Float (-3.));
+  check_agree (Value.Int max_int) (Value.Float (float_of_int max_int));
+  let rng = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let n = Prng.int rng 1000000 - 500000 in
+    check_agree (Value.Int n) (Value.Float (float_of_int n))
+  done;
+  (* sanity: hashing still distinguishes enough values to be useful *)
+  Alcotest.(check bool) "0 <> 1" true (Value.hash (Value.Int 0) <> Value.hash (Value.Int 1))
+
+(* kernel-level trace counters: a vectorized scan predicate reports the
+   rows its kernel selected; the row-interpreter path reports none *)
+let test_kernel_trace_counters () =
+  let pred = Expr.Binop (Expr.Gt, Expr.Prop ("a", "age"), Expr.Const (Value.Int 20)) in
+  let phys = Physical.Scan { alias = "a"; con = Tc.Basic person; pred = Some pred } in
+  let find_scan tr =
+    let rec go tr =
+      if tr.Gopt_exec.Op_trace.children = [] then Some tr
+      else List.find_map go tr.Gopt_exec.Op_trace.children
+    in
+    go tr
+  in
+  let _, st = Engine.run graph phys in
+  (match Option.bind st.Engine.op_trace find_scan with
+  | None -> Alcotest.fail "no trace"
+  | Some tr ->
+    Alcotest.(check int) "rows_selected = surviving rows" 3
+      tr.Gopt_exec.Op_trace.rows_selected);
+  let _, st = Engine.run ~vectorize:false graph phys in
+  match Option.bind st.Engine.op_trace find_scan with
+  | None -> Alcotest.fail "no trace"
+  | Some tr ->
+    Alcotest.(check int) "row path reports no kernel rows" 0
+      tr.Gopt_exec.Op_trace.rows_selected
+
 (* property: all planners agree with the brute-force oracle on random
    connected patterns *)
 let prop_planners_agree =
@@ -468,6 +555,9 @@ let () =
           Alcotest.test_case "batch pos error" `Quick test_batch_pos_error;
           Alcotest.test_case "pipeline classification" `Quick test_pipeline_classification;
           Alcotest.test_case "trace totals" `Quick test_trace_totals;
+          Alcotest.test_case "contains scan" `Quick test_contains;
+          Alcotest.test_case "value hash int/float" `Quick test_value_hash_agreement;
+          Alcotest.test_case "kernel trace counters" `Quick test_kernel_trace_counters;
         ] );
       ( "pipelined-vs-materialized",
         [

@@ -98,14 +98,20 @@ let canon_rows b =
   Batch.iter (fun row -> rows := Array.to_list row :: !rows) b;
   List.sort (List.compare Rval.compare) !rows
 
-(* One differential check: workers:1 vs workers:4 byte-identical, then both
-   against the materialized oracle (bag equality, or cardinality when the
-   plan cuts on possibly-tied boundaries). *)
-let check_one ~name ~g physical =
-  let b1, _ = Engine.run ~workers:1 ~morsel_size:16 g physical in
-  let b4, s4 = Engine.run ~workers:4 ~morsel_size:16 g physical in
+(* One differential check: workers:1 vs workers:4 byte-identical (at the
+   given pipelined chunk granularity), the row-interpreter path
+   byte-identical to the kernels, then all against the materialized oracle
+   (bag equality, or cardinality when the plan cuts on possibly-tied
+   boundaries). *)
+let check_one ?chunk_size ~name ~g physical =
+  let b1, _ = Engine.run ?chunk_size ~workers:1 ~morsel_size:16 g physical in
+  let b4, s4 = Engine.run ?chunk_size ~workers:4 ~morsel_size:16 g physical in
   Alcotest.(check string) (name ^ ": workers 1 = workers 4") (render g b1) (render g b4);
   Alcotest.(check bool) (name ^ ": parallel trace present") true (s4.Engine.op_trace <> None);
+  let b_nv, _ =
+    Engine.run ?chunk_size ~workers:4 ~morsel_size:16 ~vectorize:false g physical
+  in
+  Alcotest.(check string) (name ^ ": vectorize off = on") (render g b4) (render g b_nv);
   let b_mat, _ = Engine.run_materialized g physical in
   Alcotest.(check (list string))
     (name ^ ": fields vs oracle") (Batch.fields b_mat) (Batch.fields b4);
@@ -122,11 +128,18 @@ let n_random = 220
 
 let test_random_differential () =
   let s = Lazy.force session in
+  (* cycle the pipelined chunk granularity across seeds: every third query
+     runs at a pathological chunk size (1 or 7) instead of the default *)
+  let chunk_sizes = [| 1; 7; 1024 |] in
   for seed = 0 to n_random - 1 do
     let q = Gen_query.generate seed in
+    let chunk_size = chunk_sizes.(seed mod 3) in
     match Gopt.plan_cypher s q with
     | physical, _ -> (
-      try check_one ~name:(Printf.sprintf "seed %d" seed) ~g:big_graph physical
+      try
+        check_one ~chunk_size
+          ~name:(Printf.sprintf "seed %d (chunk=%d)" seed chunk_size)
+          ~g:big_graph physical
       with e ->
         (* attach the reproduction recipe: the seed and the exact query *)
         Alcotest.failf "seed %d: %s\nquery:\n  %s" seed (Printexc.to_string e) q)
@@ -145,24 +158,34 @@ let test_workload_differential () =
   List.iter
     (fun (q : Queries.query) ->
       let physical, _ = Gopt.plan_cypher s q.Queries.cypher in
-      let b1, _ = Engine.run ~workers:1 ~morsel_size:32 g physical in
-      let b4, _ = Engine.run ~workers:4 ~morsel_size:32 g physical in
-      Alcotest.(check string)
-        (q.Queries.name ^ ": workers 1 = workers 4")
-        (render g b1) (render g b4);
       let b_mat, _ = Engine.run_materialized g physical in
-      Alcotest.(check (list string))
-        (q.Queries.name ^ ": fields vs oracle")
-        (Batch.fields b_mat) (Batch.fields b4);
-      if plan_has_tie_cut physical then
-        Alcotest.(check int)
-          (q.Queries.name ^ ": rows vs oracle")
-          (Batch.n_rows b_mat) (Batch.n_rows b4)
-      else
-        Alcotest.(check bool)
-          (q.Queries.name ^ ": same bag as oracle")
-          true
-          (List.equal (List.equal Rval.equal) (canon_rows b_mat) (canon_rows b4)))
+      List.iter
+        (fun chunk_size ->
+          let name = Printf.sprintf "%s (chunk=%d)" q.Queries.name chunk_size in
+          let b1, _ = Engine.run ~chunk_size ~workers:1 ~morsel_size:32 g physical in
+          let b4, _ = Engine.run ~chunk_size ~workers:4 ~morsel_size:32 g physical in
+          Alcotest.(check string)
+            (name ^ ": workers 1 = workers 4")
+            (render g b1) (render g b4);
+          let b_nv, _ =
+            Engine.run ~chunk_size ~workers:4 ~morsel_size:32 ~vectorize:false g
+              physical
+          in
+          Alcotest.(check string) (name ^ ": vectorize off = on") (render g b4)
+            (render g b_nv);
+          Alcotest.(check (list string))
+            (name ^ ": fields vs oracle")
+            (Batch.fields b_mat) (Batch.fields b4);
+          if plan_has_tie_cut physical then
+            Alcotest.(check int)
+              (name ^ ": rows vs oracle")
+              (Batch.n_rows b_mat) (Batch.n_rows b4)
+          else
+            Alcotest.(check bool)
+              (name ^ ": same bag as oracle")
+              true
+              (List.equal (List.equal Rval.equal) (canon_rows b_mat) (canon_rows b4)))
+        [ 1; 7; 1024 ])
     (Queries.comprehensive @ Queries.qr @ Queries.qt @ Queries.qc)
 
 (* satellite 4: repeated runs with different worker counts are byte-identical —
